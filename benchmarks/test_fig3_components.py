@@ -1,0 +1,63 @@
+"""Experiment F3 -- Figure 3: PANIC's component anatomy.
+
+Checks the constructed NIC against the figure: (a) every engine tile has
+a router, local lookup table and scheduling queue; (b) the RMT engine is
+a parser + M+A stages + deparser with configurable pipeline parallelism
+and chaining; (c) the tiles sit on a 2D mesh whose edges host the
+external interfaces (Ethernet, DMA/PCIe), as drawn in Figure 3c.
+"""
+
+from repro.core import PanicConfig, PanicNic
+from repro.engines.rmt_engine import DEPARSER_CYCLES, PARSER_CYCLES
+from repro.sim import Simulator
+
+from _util import banner, run_once
+
+
+def build():
+    sim = Simulator()
+    nic = PanicNic(
+        sim,
+        PanicConfig(ports=2, mesh_width=4, mesh_height=4,
+                    rmt_pipelines=2, rmt_chained_engines=2),
+    )
+    return sim, nic
+
+
+def test_fig3_component_anatomy(benchmark):
+    sim, nic = run_once(benchmark, build)
+
+    banner("Fig 3: engine anatomy and placement")
+    rows = []
+    for key, engine in sorted(nic.engines.items()):
+        x, y = nic.mesh.coords_of(engine.address)
+        rows.append(f"  {key:12s} tile ({x},{y}) addr {engine.address}")
+    print("\n".join(rows))
+
+    # (a) Every engine: router (via mesh bind), lookup table, PIFO queue.
+    for engine in nic.engines.values():
+        assert engine.port is not None
+        assert engine.lookup_table is not None
+        assert engine.queue is not None
+
+    # (b) RMT engine structure: parser + stages + deparser, latency and
+    # throughput as configured (sections 3.1.2 / 4.2).
+    rmt = nic.rmt
+    stages = rmt.pipeline.program.num_stages
+    expected_cycles = (PARSER_CYCLES + stages + DEPARSER_CYCLES) * 2
+    assert rmt.latency_ps == rmt.clock.cycles_to_ps(expected_cycles)
+    assert rmt.throughput_pps == rmt.clock.freq_hz * 2
+
+    # (c) External interfaces on mesh edges (Figure 3c): Ethernet ports
+    # on the west column, DMA/PCIe on the east column.
+    for i in range(2):
+        x, _y = nic.mesh.coords_of(nic.engines[f"eth{i}"].address)
+        assert x == 0
+    for key in ("dma", "pcie"):
+        x, _y = nic.mesh.coords_of(nic.engines[key].address)
+        assert x == nic.config.mesh_width - 1
+
+    # Lookup tables all default to the heavyweight pipeline (sec 3.1.2).
+    for key, engine in nic.engines.items():
+        if key != "rmt":
+            assert engine.lookup_table.default_next == rmt.address

@@ -1,0 +1,88 @@
+"""Experiment E3 -- section 4.2 + conclusion: PANIC "is able to scale
+performance with increasing line-rates, number of offload engines, and
+offload chain lengths given reasonable clock frequencies and bit widths".
+
+Three sweeps over the analytical models, each validated at one point by
+simulation elsewhere in the suite:
+
+1. line-rate sweep     -- required RMT pipelines stay small (<= 3) up to
+                          2x100G;
+2. chain-length sweep  -- sustainable chain length vs channel width and
+                          mesh size (Table 3's trend lines);
+3. pipeline sweep      -- RMT pps scales linearly in P (F*P).
+"""
+
+from repro.analysis import (
+    format_table,
+    min_frame_pps,
+    required_rmt_pipelines,
+    rmt_pipeline_pps,
+)
+from repro.noc import MeshAnalysis
+from repro.sim.clock import MHZ
+
+from _util import banner, run_once
+
+LINE_RATES = ((10, 2), (25, 2), (40, 2), (100, 1), (100, 2))
+
+
+def sweep():
+    line_rows = []
+    for rate_gbps, ports in LINE_RATES:
+        pps = min_frame_pps(rate_gbps * 1e9, ports)
+        needed = required_rmt_pipelines(rate_gbps * 1e9, ports, 500 * MHZ)
+        line_rows.append((rate_gbps, ports, pps / 1e6, needed))
+
+    chain_rows = []
+    for k in (4, 6, 8, 10):
+        for bits in (64, 128, 256):
+            analysis = MeshAnalysis(k, k, bits, 500 * MHZ)
+            chain_rows.append(
+                (k, bits, analysis.chain_length(100e9, 2))
+            )
+
+    pipeline_rows = [
+        (p, rmt_pipeline_pps(500 * MHZ, p) / 1e6) for p in (1, 2, 3, 4)
+    ]
+    return line_rows, chain_rows, pipeline_rows
+
+
+def test_scaling_with_line_rate_engines_chains(benchmark):
+    line_rows, chain_rows, pipeline_rows = run_once(benchmark, sweep)
+
+    banner("Sec 4.2: scaling sweeps")
+    print(format_table(
+        ["line rate", "ports", "line-rate Mpps", "RMT pipelines needed"],
+        [[f"{r}G", p, f"{mpps:.0f}", n] for r, p, mpps, n in line_rows],
+        title="(1) line-rate scaling",
+    ))
+    print()
+    print(format_table(
+        ["mesh", "channel bits", "chain length @ 2x100G"],
+        [[f"{k}x{k}", bits, f"{cl:.2f}"] for k, bits, cl in chain_rows],
+        title="(2) chain-length scaling",
+    ))
+    print()
+    print(format_table(
+        ["pipelines P", "RMT Mpps (F*P)"],
+        [[p, f"{mpps:.0f}"] for p, mpps in pipeline_rows],
+        title="(3) pipeline parallelism",
+    ))
+
+    # (1) Modest parallelism suffices at every line rate in the sweep.
+    assert all(needed <= 2 for *_rest, needed in line_rows)
+    # Required pipelines grow monotonically with offered pps.
+    needs = [needed for *_r, needed in line_rows]
+    assert needs == sorted(needs)
+
+    # (2) Chain length grows with mesh size and channel width.
+    by_key = {(k, bits): cl for k, bits, cl in chain_rows}
+    assert by_key[(8, 64)] > by_key[(6, 64)] > by_key[(4, 64)]
+    assert by_key[(6, 256)] > by_key[(6, 128)] > by_key[(6, 64)]
+    # A 10x10 mesh with 256-bit channels supports very long chains.
+    assert by_key[(10, 256)] > 20
+
+    # (3) F*P linearity.
+    base = pipeline_rows[0][1]
+    for p, mpps in pipeline_rows:
+        assert mpps == base * p

@@ -1,0 +1,30 @@
+"""Experiment T1 -- Table 1: the offload taxonomy.
+
+Reproduces the paper's Table 1 verbatim from the encoded taxonomy and
+checks that this library's engines cover every axis of it (the paper's
+"PANIC supports arbitrary types of offloads" claim, made concrete).
+"""
+
+from repro.analysis import format_table
+from repro.engines import coverage, table1_rows
+
+from _util import banner, run_once
+
+
+def test_table1_taxonomy(benchmark):
+    def run():
+        return table1_rows(), coverage()
+
+    paper_rows, engine_rows = run_once(benchmark, run)
+
+    banner("Table 1: offload types used by prior work (paper, transcribed)")
+    print(format_table(["Project", "Offload Type"], paper_rows))
+    banner("Taxonomy coverage by this library's engines")
+    print(format_table(["Engine", "Offload Type"], engine_rows))
+
+    assert len(paper_rows) == 11
+    # Every axis value appears somewhere in the engine set.
+    joined = " ".join(classification for _e, classification in engine_rows)
+    for axis_value in ("Application", "Infrastructure", "Inline",
+                       "CPU-bypass", "Computation", "Memory", "Network"):
+        assert axis_value in joined, f"engines cover no {axis_value} offload"

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Performance isolation with the slack-based logical scheduler.
+
+Section 3.1.3 / 3.2: a bandwidth hog and a latency-sensitive tenant
+share the DMA engine, whose service is slow because the host memory is
+contended.  With FIFO scheduling the sensitive tenant's tail latency
+explodes; with slack scheduling its messages bypass the hog's queued DMA
+requests and the tail collapses -- while the hog loses nothing.
+
+Run with::
+
+    python examples/multi_tenant_isolation.py
+"""
+
+from repro import PanicConfig, PanicNic, Simulator
+from repro.analysis import format_table
+from repro.sim.clock import MS, US
+from repro.sim.stats import Histogram
+from repro.workloads import KvsWorkload, TenantSpec
+
+SENSITIVE, HOG = 1, 2
+
+
+def run(use_slack: bool) -> dict:
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(ports=1))
+    nic.host.contention_ps = 2 * US  # co-running apps hammer host memory
+
+    if use_slack:
+        nic.control.set_tenant_slack(SENSITIVE, 10 * US)
+        nic.control.set_tenant_slack(HOG, 10 * MS)
+    else:  # FIFO: identical slack for everyone
+        nic.control.set_tenant_slack(SENSITIVE, 100 * US)
+        nic.control.set_tenant_slack(HOG, 100 * US)
+
+    latency = {SENSITIVE: Histogram(), HOG: Histogram()}
+
+    def on_delivery(packet, queue):
+        tenant = packet.meta.tenant
+        if tenant in latency and packet.meta.nic_arrival_ps is not None:
+            latency[tenant].record((sim.now - packet.meta.nic_arrival_ps) / US)
+
+    nic.host.software_handler = on_delivery
+    workload = KvsWorkload(
+        sim, nic,
+        [
+            TenantSpec(SENSITIVE, rate_pps=50_000, latency_sensitive=True,
+                       key_space=50, get_fraction=1.0),
+            TenantSpec(HOG, rate_pps=2_000_000, key_space=500,
+                       get_fraction=0.0, value_bytes=1024),
+        ],
+        requests_per_tenant=100,
+    )
+    workload.start()
+    sim.run()
+    return {
+        "p50": latency[SENSITIVE].percentile(50),
+        "p99": latency[SENSITIVE].percentile(99),
+        "hog_delivered": latency[HOG].count,
+    }
+
+
+def main() -> None:
+    fifo = run(use_slack=False)
+    slack = run(use_slack=True)
+    print(format_table(
+        ["scheduler", "sensitive p50 (us)", "sensitive p99 (us)",
+         "hog delivered"],
+        [
+            ["FIFO", f"{fifo['p50']:.1f}", f"{fifo['p99']:.1f}",
+             fifo["hog_delivered"]],
+            ["slack", f"{slack['p50']:.1f}", f"{slack['p99']:.1f}",
+             slack["hog_delivered"]],
+        ],
+        title="NIC-side delivery latency of the latency-sensitive tenant",
+    ))
+    improvement = fifo["p99"] / slack["p99"]
+    print(f"\nslack scheduling cuts the sensitive tenant's p99 by "
+          f"{improvement:.1f}x; the hog still delivered "
+          f"{slack['hog_delivered']}/100 packets")
+
+
+if __name__ == "__main__":
+    main()

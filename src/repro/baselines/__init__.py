@@ -1,0 +1,28 @@
+"""Baseline programmable-NIC architectures (Figure 2).
+
+The paper's argument is comparative: PANIC vs the three existing design
+families.  Each baseline is a full simulator sharing the same packet
+stack, offload implementations, host model and cost models as PANIC, so
+differences in results come from *architecture* alone:
+
+* :class:`PipelineNic` -- offloads in a fixed line on the wire
+  (Figure 2a); exhibits head-of-line blocking and recirculation cost.
+* :class:`ManycoreNic` -- embedded cores orchestrate every packet
+  (Figure 2b); adds ~10 us of orchestration latency (section 2.3.2).
+* :class:`RmtNic` -- a FlexNIC-style match+action pipeline (Figure 2c);
+  line-rate steering but cannot host payload offloads (section 2.3.3).
+"""
+
+from repro.baselines.base_nic import BaseNic, OffloadStage
+from repro.baselines.pipeline_nic import PipelineNic
+from repro.baselines.manycore_nic import ManycoreNic
+from repro.baselines.rmt_nic import RmtNic, UnsupportedOffloadError
+
+__all__ = [
+    "BaseNic",
+    "ManycoreNic",
+    "OffloadStage",
+    "PipelineNic",
+    "RmtNic",
+    "UnsupportedOffloadError",
+]

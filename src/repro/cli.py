@@ -1,0 +1,124 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro table1      # offload taxonomy
+    python -m repro table2      # line-rate PPS model
+    python -m repro table3      # mesh bisection BW / chain length
+    python -m repro demo        # the quickstart KV GET, end to end
+    python -m repro all         # everything above
+
+The heavier experiments (HOL blocking, isolation, ablations) live in
+``benchmarks/`` where pytest-benchmark records their runtimes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, table2_rows
+from repro.engines import coverage, table1_rows
+from repro.noc import table3_rows
+from repro.noc.analysis import TABLE3_PAPER
+
+
+def cmd_table1() -> None:
+    print(format_table(
+        ["Project", "Offload Type"],
+        table1_rows(),
+        title="Table 1: offload types used by prior work",
+    ))
+    print()
+    print(format_table(
+        ["Engine", "Offload Type"],
+        coverage(),
+        title="Engine coverage of the taxonomy (this library)",
+    ))
+
+
+def cmd_table2() -> None:
+    rows = [
+        [f"{r.line_rate_gbps}Gbps", r.ports,
+         f"{r.pps_mpps:.1f}Mpps", f"{r.paper_mpps}Mpps"]
+        for r in table2_rows()
+    ]
+    print(format_table(
+        ["Line-rate", "# Eth Ports", "PPS (model)", "PPS (paper)"],
+        rows,
+        title="Table 2: PPS for line-rate forwarding of minimal packets",
+    ))
+
+
+def cmd_table3() -> None:
+    rows = []
+    for r, (paper_bw, paper_chain) in zip(table3_rows(), TABLE3_PAPER):
+        rows.append([
+            f"{r.line_rate_gbps}Gbps x{r.ports}", f"{r.freq_mhz}MHz",
+            r.channel_bits, r.topo,
+            f"{r.bisection_gbps:.0f} / {paper_bw:.0f}",
+            f"{r.chain_length:.2f} / {paper_chain:.2f}",
+        ])
+    print(format_table(
+        ["Line-rate", "Freq", "Bits", "Topo",
+         "Bisec Gbps (model/paper)", "Chain Len (model/paper)"],
+        rows,
+        title="Table 3: on-NIC topology throughput and chain length",
+    ))
+
+
+def cmd_demo() -> None:
+    from repro import PanicConfig, PanicNic, Simulator
+    from repro.packet import (
+        KvOpcode,
+        KvRequest,
+        build_kv_request_frame,
+        parse_frame,
+    )
+    from repro.sim.clock import format_time
+
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(ports=1))
+    nic.control.enable_kv_cache()
+    nic.offload("kvcache").cache_put(b"hot", b"served-on-nic")
+    request = build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 1, b"hot"))
+    nic.inject(request)
+    sim.run()
+    response = parse_frame(nic.transmitted[0].data).kv_response()
+    print("response value :", response.value.decode())
+    print("request path   :", " -> ".join(request.trail))
+    print("finished at    :", format_time(sim.now))
+    print("host CPU ran   :", nic.host.interrupts_taken.value, "times")
+
+
+COMMANDS = {
+    "table1": cmd_table1,
+    "table2": cmd_table2,
+    "table3": cmd_table3,
+    "demo": cmd_demo,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PANIC (HotNets 2018) reproduction: paper tables & demo",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["all"],
+        help="which artifact to print",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name in ("table1", "table2", "table3", "demo"):
+            COMMANDS[name]()
+            print()
+    else:
+        COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the PANIC NIC architecture.
+
+* :class:`PanicNic` -- engines + logical switch + logical scheduler,
+  assembled on a 2D mesh exactly as in Figures 1 and 3c.
+* :class:`PanicConfig` -- every design knob (ports, line rate, mesh
+  geometry, RMT parallelism, offload set...).
+* :class:`PanicControl` -- the intent-level control plane programming
+  the reference RMT program's tables.
+* :class:`Host` / :class:`HostKvServer` -- the host-side substrate.
+"""
+
+from repro.core.config import KNOWN_OFFLOADS, PanicConfig
+from repro.core.host import Host, HostKvServer
+from repro.core.panic import PanicNic
+from repro.core.pipeline_programs import (
+    PanicControl,
+    build_panic_program,
+    panic_decision_factory,
+)
+
+__all__ = [
+    "Host",
+    "HostKvServer",
+    "KNOWN_OFFLOADS",
+    "PanicConfig",
+    "PanicControl",
+    "PanicNic",
+    "build_panic_program",
+    "panic_decision_factory",
+]

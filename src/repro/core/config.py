@@ -1,0 +1,112 @@
+"""Configuration for building a PANIC NIC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim.clock import MHZ, NS, US
+
+#: Offload engines the builder knows how to instantiate.
+KNOWN_OFFLOADS = (
+    "ipsec",
+    "compression",
+    "kvcache",
+    "rdma",
+    "checksum",
+    "regex",
+    "ratelimit",
+    "dcqcn",
+    "ecnmark",
+)
+
+
+@dataclass
+class PanicConfig:
+    """Every knob of the reference PANIC NIC.
+
+    Defaults follow the paper's reference design point: a two-port
+    100 Gbps NIC, a 500 MHz on-chip clock, and a 4x4 mesh large enough
+    for the section 3.2 example's engine set.
+    """
+
+    # External interfaces.
+    ports: int = 2
+    line_rate_bps: float = 100e9
+
+    # On-chip network (Table 3 parameters).
+    mesh_width: int = 4
+    mesh_height: int = 4
+    channel_bits: int = 128
+    freq_hz: float = 500 * MHZ
+    noc_credits: int = 8
+
+    # Heavyweight RMT pipeline (section 4.2: F * P pps).
+    rmt_pipelines: int = 2
+    rmt_chained_engines: int = 1
+    #: Number of RMT engine tiles composing the heavyweight pipeline
+    #: (Figure 3c draws four).  Tiles share one program/control plane;
+    #: Ethernet ports are spread across them round-robin.
+    rmt_tiles: int = 1
+
+    # Host interface.
+    rx_queues: int = 4
+    tx_queues: int = 4
+    coalesce_count: int = 8
+    coalesce_timeout_ps: int = 10 * US
+    host_mem_base_ps: int = 90 * NS
+    host_mem_jitter_ps: int = 20 * NS
+    host_software_delay_ps: int = 2 * US
+
+    # Which offload engines to instantiate, and their constructor kwargs.
+    offloads: Tuple[str, ...] = ("ipsec", "compression", "kvcache", "rdma")
+    offload_params: Dict[str, dict] = field(default_factory=dict)
+
+    # Engine scheduling queues (None = unbounded; see section 4.3) and
+    # the lossless-overflow policy ("raise" or "backpressure", section 6).
+    queue_capacity: Optional[int] = None
+    overflow: str = "raise"
+
+    # Payload transport over the NoC (section 6): "full" carries whole
+    # frames between engines; "pointer" parks payloads in a shared
+    # packet buffer and carries descriptors only.
+    payload_mode: str = "full"
+    pktbuf_capacity_bytes: int = 2 << 20
+    pktbuf_ports: int = 2
+
+    # Optional explicit engine placement: engine key -> (x, y) tile.
+    # Keys: "eth0"..., "rmt", "dma", "pcie", and offload names.  Engines
+    # without an entry fall back to the default Figure-3c layout.  See
+    # repro.noc.placement for optimizers that produce these maps.
+    placement: Optional[Dict[str, Tuple[int, int]]] = None
+
+    # Determinism.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ports < 1:
+            raise ValueError(f"need at least one Ethernet port, got {self.ports}")
+        if self.line_rate_bps <= 0:
+            raise ValueError("line rate must be positive")
+        if self.payload_mode not in ("full", "pointer"):
+            raise ValueError(
+                f"payload_mode must be 'full' or 'pointer', got "
+                f"{self.payload_mode!r}"
+            )
+        unknown = [name for name in self.offloads if name not in KNOWN_OFFLOADS]
+        if unknown:
+            raise ValueError(
+                f"unknown offloads {unknown}; known: {KNOWN_OFFLOADS}"
+            )
+        if self.rmt_tiles < 1:
+            raise ValueError(f"need at least one RMT tile, got {self.rmt_tiles}")
+        tiles_needed = self.ports + 2 + self.rmt_tiles + len(self.offloads)
+        if tiles_needed > self.mesh_width * self.mesh_height:
+            raise ValueError(
+                f"{tiles_needed} engines do not fit a "
+                f"{self.mesh_width}x{self.mesh_height} mesh"
+            )
+
+    @property
+    def tiles(self) -> int:
+        return self.mesh_width * self.mesh_height

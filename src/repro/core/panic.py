@@ -1,0 +1,307 @@
+"""The PANIC NIC: engines + logical switch + logical scheduler (Figure 1).
+
+:class:`PanicNic` assembles the complete architecture:
+
+* a 2D mesh of routers (the unified on-chip network, section 3.1.2);
+* Ethernet MAC engines on the west edge, DMA and PCIe engines on the
+  east edge (the mesh's external interfaces, as in Figure 3c);
+* one heavyweight RMT pipeline engine running the reference program of
+  :mod:`repro.core.pipeline_programs`;
+* the configured offload engines on the remaining tiles;
+* per-engine lightweight lookup tables defaulting back to the RMT
+  pipeline;
+* a :class:`~repro.core.host.Host` model behind the DMA/PCIe engines.
+
+Use :attr:`control` to program chains/slack, :meth:`inject` to offer
+frames at a port, and :attr:`transmitted` to observe egress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import PanicConfig
+from repro.core.host import Host
+from repro.core.pipeline_programs import (
+    PanicControl,
+    build_panic_program,
+    panic_decision_factory,
+)
+from repro.engines.base import Engine
+from repro.engines.checksum_engine import ChecksumEngine
+from repro.engines.compression import CompressionEngine
+from repro.engines.dcqcn import DcqcnEngine, EcnMarkerEngine
+from repro.engines.dma import DmaEngine
+from repro.engines.ethernet import EthernetPort
+from repro.engines.ipsec import IpsecEngine
+from repro.engines.kvcache import KvCacheEngine
+from repro.engines.pcie import PcieEngine
+from repro.engines.ratelimit import RateLimiterEngine
+from repro.engines.rdma import RdmaEngine
+from repro.engines.regex_engine import RegexEngine
+from repro.engines.rmt_engine import RmtPipelineEngine
+from repro.noc.mesh import Mesh, MeshConfig
+from repro.noc.pktbuffer import PacketBuffer
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.stats import Counter
+
+
+class PanicNic:
+    """A fully assembled PANIC NIC simulation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[PanicConfig] = None,
+        name: str = "panic",
+    ):
+        self.sim = sim
+        self.config = config if config is not None else PanicConfig()
+        self.name = name
+        self.rng = SeededRng(self.config.seed)
+        self.transmitted: List[Packet] = []
+        self._tx_callbacks: List[Callable[[Packet], None]] = []
+        self.rmt_drops = Counter(f"{name}.rmt_drops")
+
+        self.mesh = Mesh(
+            sim,
+            MeshConfig(
+                width=self.config.mesh_width,
+                height=self.config.mesh_height,
+                channel_bits=self.config.channel_bits,
+                freq_hz=self.config.freq_hz,
+                credits=self.config.noc_credits,
+            ),
+            name=f"{name}.mesh",
+        )
+        self.host = Host(
+            sim,
+            name=f"{name}.host",
+            rx_queues=self.config.rx_queues,
+            tx_queues=self.config.tx_queues,
+            mem_base_ps=self.config.host_mem_base_ps,
+            mem_jitter_ps=self.config.host_mem_jitter_ps,
+            software_delay_ps=self.config.host_software_delay_ps,
+            rng=self.rng.fork("hostmem"),
+        )
+        self.payload_buffer: Optional[PacketBuffer] = None
+        if self.config.payload_mode == "pointer":
+            self.payload_buffer = PacketBuffer(
+                sim,
+                name=f"{name}.pktbuf",
+                capacity_bytes=self.config.pktbuf_capacity_bytes,
+                ports=self.config.pktbuf_ports,
+                freq_hz=self.config.freq_hz,
+            )
+        self.engines: Dict[str, Engine] = {}
+        self.ports: List[EthernetPort] = []
+        self._build_engines()
+        self._wire()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _tile_iter(self):
+        for y in range(self.config.mesh_height):
+            for x in range(self.config.mesh_width):
+                yield (x, y)
+
+    def _build_engines(self) -> None:
+        cfg = self.config
+        used: set = set()
+        overrides = dict(cfg.placement or {})
+
+        def place(engine: Engine, key: str, x: int, y: int) -> None:
+            x, y = overrides.get(key, (x, y))
+            port = self.mesh.bind(engine, x, y)
+            engine.bind_port(port)
+            self.engines[key] = engine
+            used.add((x, y))
+
+        # Ethernet MACs down the west edge (Figure 3c).
+        for i in range(cfg.ports):
+            mac = EthernetPort(
+                self.sim,
+                f"{self.name}.eth{i}",
+                port_index=i,
+                line_rate_bps=cfg.line_rate_bps,
+                freq_hz=cfg.freq_hz,
+                on_transmit=self._on_transmit,
+            )
+            place(mac, f"eth{i}", 0, i % cfg.mesh_height)
+            self.ports.append(mac)
+
+        # DMA and PCIe engines on the east edge.
+        east = cfg.mesh_width - 1
+        self.dma = DmaEngine(
+            self.sim,
+            f"{self.name}.dma",
+            freq_hz=cfg.freq_hz,
+            queue_capacity=cfg.queue_capacity,
+            overflow=cfg.overflow,
+        )
+        place(self.dma, "dma", east, 0)
+        self.pcie = PcieEngine(
+            self.sim,
+            f"{self.name}.pcie",
+            coalesce_count=cfg.coalesce_count,
+            coalesce_timeout_ps=cfg.coalesce_timeout_ps,
+            freq_hz=cfg.freq_hz,
+        )
+        place(self.pcie, "pcie", east, 1 % cfg.mesh_height)
+
+        # Heavyweight RMT pipeline tiles near the middle (Figure 3c).
+        # All tiles execute the same program, so there is one control
+        # plane; Ethernet ports spread across the tiles round-robin.
+        port_addrs = [self.engines[f"eth{i}"].address for i in range(cfg.ports)]
+        program = build_panic_program(
+            dma_addr=self.dma.address,
+            port_addrs=port_addrs,
+            rx_queues=cfg.rx_queues,
+        )
+        decision = panic_decision_factory(self)
+        self.rmt_tiles: List[RmtPipelineEngine] = []
+        # Candidate tiles for the pipeline, central columns first.
+        rmt_candidates = sorted(
+            (t for t in self._tile_iter()
+             if t not in used and t not in overrides.values()),
+            key=lambda t: (abs(t[0] - 1), t[1]),
+        )
+        for tile_index in range(cfg.rmt_tiles):
+            rmt_x, rmt_y = rmt_candidates.pop(0)
+            suffix = "" if tile_index == 0 else str(tile_index)
+            engine = RmtPipelineEngine(
+                self.sim,
+                f"{self.name}.rmt{suffix}",
+                program,
+                pipelines=cfg.rmt_pipelines,
+                chained_engines=cfg.rmt_chained_engines,
+                freq_hz=cfg.freq_hz,
+            )
+            place(engine, f"rmt{suffix}", rmt_x, rmt_y)
+            engine.decision_handler = decision
+            self.rmt_tiles.append(engine)
+        self.rmt = self.rmt_tiles[0]
+
+        # Offload engines on the remaining tiles.
+        common = dict(
+            freq_hz=cfg.freq_hz,
+            queue_capacity=cfg.queue_capacity,
+            overflow=cfg.overflow,
+        )
+        factories = {
+            "ipsec": lambda nm, p: IpsecEngine(self.sim, nm, **common, **p),
+            "compression": lambda nm, p: CompressionEngine(self.sim, nm, **common, **p),
+            "kvcache": lambda nm, p: KvCacheEngine(self.sim, nm, **common, **p),
+            "rdma": lambda nm, p: RdmaEngine(self.sim, nm, **common, **p),
+            "checksum": lambda nm, p: ChecksumEngine(self.sim, nm, **common, **p),
+            "regex": lambda nm, p: RegexEngine(self.sim, nm, **common, **p),
+            "ratelimit": lambda nm, p: RateLimiterEngine(self.sim, nm, **common, **p),
+            "dcqcn": lambda nm, p: DcqcnEngine(self.sim, nm, **common, **p),
+            "ecnmark": lambda nm, p: EcnMarkerEngine(self.sim, nm, **common, **p),
+        }
+        reserved = set(overrides.values())
+        tiles = (t for t in self._tile_iter()
+                 if t not in used and t not in reserved)
+        for offload_name in cfg.offloads:
+            x, y = overrides.get(offload_name) or next(tiles)
+            params = cfg.offload_params.get(offload_name, {})
+            engine = factories[offload_name](f"{self.name}.{offload_name}", params)
+            place(engine, offload_name, x, y)
+
+        self.control = PanicControl(
+            program,
+            {key: engine.address for key, engine in self.engines.items()},
+            dma_addr=self.dma.address,
+            port_addrs=port_addrs,
+        )
+
+    def _wire(self) -> None:
+        rmt_addr = self.rmt.address
+        for key, engine in self.engines.items():
+            if engine in self.rmt_tiles:
+                continue
+            engine.lookup_table.default_next = rmt_addr
+        # Spread ingress classification across the RMT tiles (Fig. 3c:
+        # multiple RMT engines compose the heavyweight pipeline).
+        for index, mac in enumerate(self.ports):
+            tile = self.rmt_tiles[index % len(self.rmt_tiles)]
+            mac.lookup_table.default_next = tile.address
+        # Ethernet ports transmit when a chain ends there, so their
+        # default only applies to fresh RX frames -- which is exactly the
+        # RMT pipeline.  (handle() separates the two cases.)
+        self.dma.pcie_addr = self.pcie.address
+        self.dma.attach_host(self.host)
+        self.pcie.dma_addr = self.dma.address
+        self.pcie.attach_host(self.host)
+        self.host.pcie = self.pcie
+        rdma = self.engines.get("rdma")
+        if rdma is not None:
+            rdma.dma_addr = self.dma.address
+        if self.payload_buffer is not None:
+            for engine in self.engines.values():
+                engine.payload_buffer = self.payload_buffer
+        dcqcn = self.engines.get("dcqcn")
+        if dcqcn is not None and "ratelimit" in self.engines:
+            dcqcn.attach_limiter(self.engines["ratelimit"])
+        ecnmark = self.engines.get("ecnmark")
+        if ecnmark is not None:
+            # By default the marker watches the DMA engine's queue --
+            # the congestion point on the receive path.
+            ecnmark.watch_engine = self.dma
+
+    def _on_transmit(self, packet: Packet) -> None:
+        self.transmitted.append(packet)
+        for callback in self._tx_callbacks:
+            callback(packet)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def offload(self, name: str) -> Engine:
+        """Look up an engine by its short name (e.g. ``"ipsec"``)."""
+        try:
+            return self.engines[name]
+        except KeyError:
+            raise KeyError(
+                f"no engine {name!r}; have {sorted(self.engines)}"
+            ) from None
+
+    def inject(self, packet: Packet, port: int = 0) -> int:
+        """Offer a frame at an Ethernet port; returns wire-arrival time."""
+        if not 0 <= port < len(self.ports):
+            raise ValueError(f"no port {port}; NIC has {len(self.ports)}")
+        packet.meta.created_ps = packet.meta.created_ps or self.sim.now
+        return self.ports[port].inject_rx(packet)
+
+    def on_transmit(self, callback: Callable[[Packet], None]) -> None:
+        """Register an egress observer."""
+        self._tx_callbacks.append(callback)
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate per-engine statistics for reporting."""
+        out: Dict[str, Dict[str, float]] = {}
+        for key, engine in self.engines.items():
+            entry = {
+                "processed": engine.processed.value,
+                "backlog": engine.backlog,
+                "queue_max": engine.queue.max_occupancy,
+                "dropped": engine.queue.dropped.value,
+            }
+            if engine.queue_latency.count:
+                entry["queue_latency_ns_p99"] = engine.queue_latency.percentile_ns(99)
+            out[key] = entry
+        out["host"] = {
+            "rx_delivered": self.host.rx_delivered.value,
+            "interrupts": self.host.interrupts_taken.value,
+            "mem_reads": self.host.mem_reads.value,
+        }
+        out["nic"] = {
+            "transmitted": len(self.transmitted),
+            "rmt_drops": self.rmt_drops.value,
+        }
+        return out

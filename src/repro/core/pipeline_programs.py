@@ -1,0 +1,356 @@
+"""The reference RMT program for PANIC and its control-plane API.
+
+The heavyweight pipeline's job (section 3.1.2): parse complex headers,
+determine the chain of offloads for each message, load-balance across
+descriptor queues, and compute slack times for the logical scheduler.
+
+The program built here has these stages (tables):
+
+1. ``ipsec_rx``      -- ESP packets get chain [ipsec]; after decryption
+                        the packet re-enters the pipeline (second pass).
+2. ``ipsec_tx``      -- TX packets to configured WAN subnets get an
+                        encrypt annotation and chain [ipsec, port].
+3. ``kv_route``      -- KV opcodes choose the cache/RDMA fast path.
+4. ``tenant_route``  -- per-tenant custom offload chains.
+5. ``tenant_slack``  -- per-tenant slack for the logical scheduler.
+6. ``rx_steer``      -- RSS-style receive-queue selection.
+7. ``default_route`` -- RX falls back to [dma]; TX to its egress port.
+
+:class:`PanicControl` wraps table programming in intent-level calls used
+by examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.packet.headers import IP_PROTO_ESP
+from repro.packet.kv import KvOpcode
+from repro.rmt.action import ActionContext, decode_chain
+from repro.rmt.phv import Phv
+from repro.rmt.pipeline import RmtProgram
+from repro.rmt.table import MatchKey, MatchKind
+from repro.sim.clock import US
+
+#: meta.direction values as seeded by the RMT engine wrapper.
+DIR_RX = b"rx"
+DIR_TX = b"tx"
+
+#: Slack applied when no tenant/DSCP policy matched (a lenient 1 ms).
+DEFAULT_SLACK_PS = 1000 * US
+
+
+def set_chain_if_empty(phv: Phv, ctx: ActionContext, *, chain: List[int]) -> None:
+    """Install a chain only when no earlier stage chose one."""
+    if not phv.get_or("meta.chain", b""):
+        blob = b"".join(addr.to_bytes(2, "big") for addr in chain)
+        phv.set("meta.chain", blob)
+
+
+def encrypt_via(
+    phv: Phv, ctx: ActionContext, *, spi: int, chain: List[int]
+) -> None:
+    """Mark a TX packet for ESP encryption and route it via IPSec."""
+    phv.set("meta.ipsec_spi", spi)
+    blob = b"".join(addr.to_bytes(2, "big") for addr in chain)
+    phv.set("meta.chain", blob)
+
+
+def police(phv: Phv, ctx: ActionContext, *, slack_ps: int) -> None:
+    """Worst-class traffic: maximal-slack deadline *and* droppable.
+
+    Used for attack-class DSCPs so the logical scheduler sheds this
+    traffic first under memory pressure (sections 4.3 and 6).
+    """
+    phv.set("meta.slack_deadline_ps", ctx.now_ps + slack_ps)
+    phv.set("meta.droppable", 1)
+
+
+def build_panic_program(
+    *,
+    dma_addr: int,
+    port_addrs: Sequence[int],
+    rx_queues: int = 4,
+) -> RmtProgram:
+    """Construct the reference program (tables empty where control-plane
+    entries are expected; defaults functional out of the box)."""
+    program = RmtProgram("panic-reference")
+    program.add_action("set_chain_if_empty", set_chain_if_empty)
+    program.add_action("encrypt_via", encrypt_via)
+    program.add_action("police", police)
+    program.add_register("rr_queue", 1)
+
+    # Stage 1: ESP on receive -> decrypt first.
+    program.add_table(
+        "ipsec_rx",
+        [MatchKey("meta.direction"), MatchKey("ipv4.proto")],
+        requires="ipv4.proto",
+    )
+    # Stage 2: encrypt selected TX destinations (LPM on outer dst).
+    program.add_table(
+        "ipsec_tx",
+        [MatchKey("meta.direction"), MatchKey("ipv4.dst", MatchKind.LPM)],
+        requires="ipv4.dst",
+    )
+    # Stage 3: KV fast-path routing.
+    program.add_table(
+        "kv_route",
+        [MatchKey("meta.direction"), MatchKey("kv.opcode")],
+        requires="kv.opcode",
+    )
+    # Stage 4: per-tenant offload chains.
+    program.add_table(
+        "tenant_route",
+        [MatchKey("meta.direction"), MatchKey("kv.tenant")],
+        requires="kv.tenant",
+    )
+    # Stage 4b: DSCP-classified offload chains (non-KV traffic).
+    program.add_table(
+        "dscp_route",
+        [MatchKey("meta.direction"), MatchKey("ipv4.dscp")],
+        requires="ipv4.dscp",
+    )
+    # Stage 4c: L4-port-classified chains (control protocols like CNP).
+    program.add_table(
+        "port_route",
+        [MatchKey("meta.direction"), MatchKey("udp.dst_port")],
+        requires="udp.dst_port",
+    )
+    # Stage 5: per-tenant slack (scheduler programming, section 3.1.3).
+    program.add_table(
+        "tenant_slack",
+        [MatchKey("kv.tenant")],
+        requires="kv.tenant",
+    )
+    # Stage 5b: slack for non-KV traffic, keyed on DSCP.
+    # Misses in both slack tables leave the deadline unset; the decision
+    # handler applies DEFAULT_SLACK_PS, so per-tenant entries are never
+    # clobbered by a later stage's default action.
+    program.add_table(
+        "dscp_slack",
+        [MatchKey("ipv4.dscp")],
+        requires="ipv4.dscp",
+    )
+    # Stage 6: receive-queue steering (flow-stable hash).
+    rx_steer = program.add_table(
+        "rx_steer",
+        [MatchKey("meta.direction")],
+        requires="udp.src_port",
+    )
+    rx_steer.add(
+        [DIR_RX],
+        "hash_select",
+        {
+            "fields": ["ipv4.src", "udp.src_port"],
+            "ways": rx_queues,
+            "dst": "meta.rx_queue",
+        },
+    )
+    # Stage 7: egress port selection for TX packets that know their port.
+    egress_select = program.add_table(
+        "egress_select",
+        [MatchKey("meta.direction"), MatchKey("meta.egress_port")],
+        requires="meta.egress_port",
+    )
+    for index, addr in enumerate(port_addrs):
+        egress_select.add([DIR_TX, index], "set_chain_if_empty", {"chain": [addr]})
+    # Stage 8: defaults -- RX ends at the DMA engine, TX at its port.
+    default_route = program.add_table(
+        "default_route",
+        [MatchKey("meta.direction")],
+    )
+    default_route.add([DIR_RX], "set_chain_if_empty", {"chain": [dma_addr]})
+    default_route.add(
+        [DIR_TX], "set_chain_if_empty", {"chain": [port_addrs[0]]}
+    )
+    return program
+
+
+class PanicControl:
+    """Intent-level control plane over the reference program's tables.
+
+    Engine addresses come from the NIC's placement; users call these
+    methods with engine *names* and the control plane resolves them.
+    """
+
+    def __init__(self, program: RmtProgram, addr_of: Dict[str, int], dma_addr: int, port_addrs: Sequence[int]):
+        self.program = program
+        self._addr_of = dict(addr_of)
+        self._dma_addr = dma_addr
+        self._port_addrs = list(port_addrs)
+
+    def addr(self, engine_name: str) -> int:
+        try:
+            return self._addr_of[engine_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown engine {engine_name!r}; have {sorted(self._addr_of)}"
+            ) from None
+
+    def resolve_chain(self, chain: Sequence) -> List[int]:
+        """Accept engine names or raw addresses."""
+        return [
+            hop if isinstance(hop, int) else self.addr(hop) for hop in chain
+        ]
+
+    # -- IPSec ----------------------------------------------------------
+
+    def enable_ipsec_rx(self) -> None:
+        """Decrypt inbound ESP before anything else (two-pass flow)."""
+        ipsec = self.addr("ipsec")
+        self.program.table("ipsec_rx").add(
+            [DIR_RX, IP_PROTO_ESP], "set_chain", {"chain": [ipsec]}
+        )
+
+    def encrypt_subnet(self, prefix: int, prefix_len: int, spi: int, port: int = 0) -> None:
+        """ESP-encrypt TX packets whose destination matches the prefix."""
+        ipsec = self.addr("ipsec")
+        self.program.table("ipsec_tx").add(
+            [DIR_TX, (prefix, prefix_len)],
+            "encrypt_via",
+            {"spi": spi, "chain": [ipsec, self._port_addrs[port]]},
+            priority=prefix_len,
+        )
+
+    # -- KV fast path ----------------------------------------------------
+
+    def route_kv_opcode(self, opcode: KvOpcode, chain: Sequence, append_dma: bool = True) -> None:
+        """Send a KV opcode through ``chain`` (names or addresses)."""
+        hops = self.resolve_chain(chain)
+        if append_dma:
+            hops = hops + [self._dma_addr]
+        self.program.table("kv_route").add(
+            [DIR_RX, int(opcode)], "set_chain", {"chain": hops}
+        )
+
+    def enable_kv_cache(self) -> None:
+        """GET/SET/DELETE flow through the on-NIC cache (section 3.2)."""
+        self.route_kv_opcode(KvOpcode.GET, ["kvcache"])
+        self.route_kv_opcode(KvOpcode.SET, ["kvcache"])
+        self.route_kv_opcode(KvOpcode.DELETE, ["kvcache"])
+
+    # -- Tenant policy ----------------------------------------------------
+
+    def route_tenant(self, tenant: int, chain: Sequence, append_dma: bool = True) -> None:
+        hops = self.resolve_chain(chain)
+        if append_dma:
+            hops = hops + [self._dma_addr]
+        self.program.table("tenant_route").add(
+            [DIR_RX, tenant], "set_chain", {"chain": hops}
+        )
+
+    def route_dscp(self, dscp: int, chain: Sequence, append_dma: bool = True) -> None:
+        """Send RX traffic of a DSCP class through ``chain``."""
+        hops = self.resolve_chain(chain)
+        if append_dma:
+            hops = hops + [self._dma_addr]
+        self.program.table("dscp_route").add(
+            [DIR_RX, dscp], "set_chain", {"chain": hops}
+        )
+
+    def route_udp_port(self, dst_port: int, chain: Sequence,
+                       append_dma: bool = True) -> None:
+        """Send RX traffic for a UDP destination port through ``chain``
+        (e.g. steer CNP congestion notifications to the DCQCN engine)."""
+        hops = self.resolve_chain(chain)
+        if append_dma:
+            hops = hops + [self._dma_addr]
+        self.program.table("port_route").add(
+            [DIR_RX, dst_port], "set_chain", {"chain": hops}
+        )
+
+    def route_tenant_tx(self, tenant: int, chain: Sequence,
+                        egress_port: int = 0) -> None:
+        """Send a tenant's *transmit* traffic through ``chain`` before it
+        leaves on ``egress_port`` (e.g. a rate limiter)."""
+        hops = self.resolve_chain(chain) + [self._port_addrs[egress_port]]
+        self.program.table("tenant_route").add(
+            [DIR_TX, tenant], "set_chain", {"chain": hops}
+        )
+
+    def set_tenant_slack(self, tenant: int, slack_ps: int) -> None:
+        """Program the logical scheduler's deadline for a tenant."""
+        self.program.table("tenant_slack").add(
+            [tenant], "set_slack", {"slack_ps": slack_ps}
+        )
+
+    def set_dscp_slack(self, dscp: int, slack_ps: int) -> None:
+        self.program.table("dscp_slack").add(
+            [dscp], "set_slack", {"slack_ps": slack_ps}
+        )
+
+    def enable_wfq(self, weights: Dict[int, float],
+                   cost_ps: int = 1000) -> None:
+        """Weighted fair sharing across tenants, live in the pipeline.
+
+        Installs a stateful action backed by
+        :class:`~repro.sched.slack.WeightedShareSlackPolicy`: each
+        tenant's messages are stamped with virtual-finish-time deadlines,
+        so every engine's PIFO serves backlogged tenants in proportion to
+        their weights (section 3.1.3's "share on-NIC resources according
+        to some high-level policy", realized via Universal Packet
+        Scheduling's slack construction).
+        """
+        from repro.sched.slack import WeightedShareSlackPolicy
+
+        policy = WeightedShareSlackPolicy(weights)
+
+        def wfq_slack(phv: Phv, ctx: ActionContext, *, tenant: int) -> None:
+            deadline = policy.deadline_ps(tenant, ctx.now_ps, cost_ps=cost_ps)
+            phv.set("meta.slack_deadline_ps", deadline)
+
+        if "wfq_slack" not in self.program.actions:
+            self.program.add_action("wfq_slack", wfq_slack)
+        table = self.program.table("tenant_slack")
+        for tenant in weights:
+            table.add([tenant], "wfq_slack", {"tenant": tenant})
+
+    def mark_dscp_droppable(self, dscp: int, slack_ps: int = 1_000_000 * US) -> None:
+        """Classify a DSCP as lossy attack-class traffic: worst slack and
+        the droppable flag, so bounded queues shed it first."""
+        self.program.table("dscp_slack").add(
+            [dscp], "police", {"slack_ps": slack_ps}
+        )
+
+
+def panic_decision_factory(nic):
+    """Build the decision handler that turns PHVs into chain headers.
+
+    Installed on the RMT engine by :class:`repro.core.panic.PanicNic`;
+    split out so baselines can install different handlers on the same
+    engine type.
+    """
+    from repro.packet.panic_hdr import PanicHeader
+
+    def decide(packet, phv):
+        if packet.panic is not None and not packet.panic.exhausted:
+            # Mid-chain revisit: the chain explicitly routed *through*
+            # the heavyweight pipeline (section 3.1.2's "the RMT pipeline
+            # includes itself as a nexthop in the chain"); continue the
+            # existing chain rather than reclassifying from scratch.
+            return [(packet, None)]
+        if phv.get_or("meta.drop", 0):
+            nic.rmt_drops.add()
+            return []
+        chain = decode_chain(phv.get_or("meta.chain", b""))
+        deadline = int(
+            phv.get_or("meta.slack_deadline_ps", nic.sim.now + DEFAULT_SLACK_PS)
+        )
+        header = PanicHeader(
+            chain=chain,
+            slack_ps=deadline,
+            needs_rmt=bool(phv.get_or("meta.needs_rmt", 0)),
+            droppable=bool(phv.get_or("meta.droppable", 0)),
+        )
+        packet.panic = header
+        if phv.is_valid("meta.rx_queue"):
+            packet.meta.annotations["rx_queue"] = int(phv.get("meta.rx_queue"))
+        if phv.is_valid("meta.ipsec_spi"):
+            packet.meta.annotations["ipsec_spi"] = int(phv.get("meta.ipsec_spi"))
+        if phv.is_valid("kv.tenant"):
+            packet.meta.tenant = int(phv.get("kv.tenant"))
+        elif phv.is_valid("meta.tenant"):
+            packet.meta.tenant = int(phv.get("meta.tenant"))
+        return [(packet, None)]
+
+    return decide

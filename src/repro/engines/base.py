@@ -1,0 +1,295 @@
+"""The self-contained offload engine abstraction (Figure 3a).
+
+Every PANIC engine tile couples four things:
+
+* a **compute engine** -- the subclass's ``handle`` method plus its
+  ``service_time_ps`` cost model;
+* **local memory** -- whatever state the offload keeps (cache entries,
+  cipher state), bounded by ``local_memory_bytes``;
+* a **local lookup table** -- steers messages whose chain is exhausted or
+  unknown without another heavyweight RMT traversal (section 3.1.2);
+* a **local scheduling queue** -- a PIFO ranked by the slack deadline the
+  RMT pipeline stamped into the message header (section 3.1.3).
+
+Engines are :class:`~repro.noc.router.Endpoint`\\ s: the mesh delivers
+messages to :meth:`receive`; processed messages leave through the engine's
+:class:`~repro.noc.mesh.NocPort`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.noc.message import NocMessage
+from repro.noc.router import Endpoint
+from repro.packet.packet import Packet
+from repro.sched.pifo import PifoFullError, PifoQueue
+from repro.sim.clock import Clock, MHZ
+from repro.sim.kernel import Component, Simulator
+from repro.sim.stats import Counter, LatencyTracker
+
+#: Cycles charged for a local lookup-table match (section 3.1.2: "the
+#: lightweight tables also add another cycle of latency").
+LOOKUP_CYCLES = 1
+
+#: An engine's output: the packet plus an explicit destination address, or
+#: ``None`` to route by the packet's chain header / local lookup table.
+EngineOutput = Tuple[Packet, Optional[int]]
+
+
+class LocalLookupTable:
+    """The lightweight per-engine lookup table.
+
+    Maps small keys (``packet.kind`` values, markers set by offloads) to
+    next-hop engine addresses, with a default route -- typically back to
+    the heavyweight RMT pipeline, per section 3.1.2: "either a default
+    route back to the heavyweight RMT pipeline is installed at the engine
+    or the RMT pipeline includes itself as a nexthop".
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict = {}
+        self.default_next: Optional[int] = None
+        self.lookups = Counter("lookup_table.lookups")
+
+    def install(self, key, next_addr: int) -> None:
+        self._rules[key] = next_addr
+
+    def lookup(self, key) -> Optional[int]:
+        self.lookups.add()
+        hit = self._rules.get(key)
+        return hit if hit is not None else self.default_next
+
+
+class Engine(Component, Endpoint):
+    """Base class for every PANIC tile (offloads, MACs, DMA, PCIe, RMT).
+
+    Parameters
+    ----------
+    sim, name:
+        Kernel plumbing.
+    freq_hz:
+        The engine's clock (service times are quoted in its cycles).
+    queue_capacity:
+        PIFO capacity.  ``None`` (default) models a generously sized
+        buffer; bounded values exercise the paper's memory-pressure and
+        drop discussions.
+    lanes:
+        Independent service lanes (a 4-lane crypto block serves four
+        messages concurrently).
+    """
+
+    #: What to do when a lossless message meets a full queue:
+    #: ``"raise"`` surfaces the overflow loudly; ``"backpressure"``
+    #: refuses the delivery so the router holds it, stalling the
+    #: upstream credit loop (section 6's lossless flow control).
+    OVERFLOW_POLICIES = ("raise", "backpressure")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        freq_hz: float = 500 * MHZ,
+        queue_capacity: Optional[int] = None,
+        lanes: int = 1,
+        overflow: str = "raise",
+    ):
+        Component.__init__(self, sim, name)
+        if lanes < 1:
+            raise ValueError(f"{name}: lanes must be >= 1, got {lanes}")
+        if overflow not in self.OVERFLOW_POLICIES:
+            raise ValueError(
+                f"{name}: overflow must be one of {self.OVERFLOW_POLICIES}, "
+                f"got {overflow!r}"
+            )
+        self.clock = Clock(freq_hz)
+        self.queue: PifoQueue[NocMessage] = PifoQueue(f"{name}.queue", queue_capacity)
+        self.lookup_table = LocalLookupTable()
+        self.port = None  # type: ignore[assignment]  # set by bind_port
+        self.lanes = lanes
+        self.overflow = overflow
+        #: Shared packet buffer in pointer mode (section 6); engines that
+        #: process a pointer-carried payload pay for port access.
+        self.payload_buffer = None
+        self._busy_lanes = 0
+        # Statistics every experiment reads.
+        self.processed = Counter(f"{name}.processed")
+        self.rejected = Counter(f"{name}.rejected")
+        self.queue_latency = LatencyTracker(f"{name}.queue_latency")
+        self.service_latency = LatencyTracker(f"{name}.service_latency")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind_port(self, port) -> None:
+        """Attach the NoC port returned by ``mesh.bind`` / ``xbar.bind``."""
+        self.port = port
+
+    def send(self, packet: Packet, dest_addr: int) -> None:
+        """Inject a packet toward another engine."""
+        if self.port is None:
+            raise RuntimeError(f"{self.name}: engine has no NoC port")
+        self.port.send(packet, dest_addr)
+
+    # ------------------------------------------------------------------
+    # NoC-facing receive path
+    # ------------------------------------------------------------------
+
+    def _rank_of(self, message: NocMessage):
+        packet = message.packet
+        if packet.panic is not None:
+            return packet.panic.slack_ps, packet.panic.droppable
+        return self.now, False
+
+    def try_receive(self, message: NocMessage) -> bool:
+        """Router delivery with backpressure support.
+
+        Under the ``"backpressure"`` overflow policy a lossless message
+        meeting a full queue is *refused*: the router parks it, the
+        upstream credit loop stalls, and :attr:`notify_space` retries it
+        once a slot frees -- one concrete answer to the paper's section 6
+        flow-control question.
+        """
+        _rank, droppable = self._rank_of(message)
+        if (
+            self.overflow == "backpressure"
+            and self.queue.is_full
+            and not droppable
+        ):
+            self.rejected.add()
+            return False
+        self.receive(message)
+        return True
+
+    def receive(self, message: NocMessage) -> None:
+        """Rank by slack deadline, enqueue, maybe start service."""
+        rank, droppable = self._rank_of(message)
+        message.packet.meta.annotations["enqueue_ps"] = self.now
+        try:
+            accepted = self.queue.push(message, rank, droppable)
+        except PifoFullError:
+            # Lossless overflow under the "raise" policy: the paper
+            # leaves NoC flow control open (section 6); surface it loudly
+            # rather than silently dropping a lossless message.
+            self.rejected.add()
+            raise
+        if accepted:
+            self._try_start()
+
+    # ------------------------------------------------------------------
+    # Service loop
+    # ------------------------------------------------------------------
+
+    def _try_start(self) -> None:
+        freed_space = False
+        while self._busy_lanes < self.lanes and not self.queue.is_empty:
+            message, _rank = self.queue.pop()
+            freed_space = True
+            self._busy_lanes += 1
+            enq = message.packet.meta.annotations.pop("enqueue_ps", self.now)
+            self.queue_latency.observe(enq, self.now)
+            delay = self.service_time_ps(message.packet)
+            delay += self._payload_buffer_delay(message.packet)
+            self.schedule(delay, self._finish, message, self.now)
+        if freed_space and self.notify_space is not None:
+            # A router may be holding refused messages for us.
+            self.notify_space()
+
+    def _finish(self, message: NocMessage, started_ps: int) -> None:
+        self._busy_lanes -= 1
+        self.processed.add()
+        self.service_latency.observe(started_ps, self.now)
+        packet = message.packet
+        packet.touch(self.name)
+        outputs = self.handle(packet)
+        lookup_delay = 0
+        for out_packet, dest in outputs:
+            if dest is None:
+                dest = self._route_by_chain(out_packet)
+                lookup_delay = self.clock.cycles_to_ps(LOOKUP_CYCLES)
+            if dest is None:
+                self.terminal(out_packet)
+            elif dest == self.address:
+                # Chain loops back to this engine (e.g. a second pass).
+                self.schedule(lookup_delay, self._loopback, out_packet)
+            else:
+                if lookup_delay:
+                    self.schedule(lookup_delay, self.send, out_packet, dest)
+                else:
+                    self.send(out_packet, dest)
+        self._try_start()
+
+    def _payload_buffer_delay(self, packet: Packet) -> int:
+        """Port-access cost for touching a pointer-carried payload.
+
+        Processing a buffered payload means reading it and writing the
+        (possibly transformed) result back: two transfers through the
+        shared buffer's ports.
+        """
+        if self.payload_buffer is None:
+            return 0
+        if "pbuf_handle" not in packet.meta.annotations:
+            return 0
+        return self.payload_buffer.access_delay_ps(2 * packet.frame_bytes)
+
+    def _loopback(self, packet: Packet) -> None:
+        message = NocMessage(
+            packet=packet,
+            dest_addr=self.address,
+            src_addr=self.address,
+            inject_ps=self.now,
+        )
+        if self.overflow == "backpressure" and self.queue.is_full:
+            # Local re-entry cannot be refused to a router; retry on the
+            # next cycle instead of overflowing the bounded queue.
+            self.schedule(self.clock.cycles_to_ps(1), self._loopback, packet)
+            return
+        self.receive(message)
+
+    def _route_by_chain(self, packet: Packet) -> Optional[int]:
+        """Next destination from the chain header, else the lookup table."""
+        header = packet.panic
+        if header is not None and not header.exhausted:
+            return header.advance()
+        key = packet.kind
+        return self.lookup_table.lookup(key)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    def service_time_ps(self, packet: Packet) -> int:
+        """How long this engine works on ``packet``.  Default: one cycle."""
+        return self.clock.cycles_to_ps(1)
+
+    def handle(self, packet: Packet) -> List[EngineOutput]:
+        """Transform a packet; return output packets with destinations.
+
+        The default is a pure pass-through that follows the chain.
+        """
+        return [(packet, None)]
+
+    def terminal(self, packet: Packet) -> None:
+        """Called when a packet has nowhere further to go.
+
+        The default treats it as a configuration error -- every reference
+        NIC installs default routes; engines like the Ethernet port
+        override this to transmit externally.
+        """
+        raise RuntimeError(
+            f"{self.name}: packet {packet!r} has an exhausted chain and no "
+            "default route; check the lookup-table programming"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_lanes > 0
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)

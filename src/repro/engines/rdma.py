@@ -1,0 +1,147 @@
+"""The RDMA engine: CPU-bypass reads of host memory.
+
+In the paper's section 3.2 walk-through, a GET that hits the on-NIC
+*location* cache "will be forwarded to an RDMA engine.  This RDMA engine
+will then issue DMA requests (via the pipeline) to read the value,
+generate the packet headers for the response, and then inject this new
+response into the pipeline."
+
+This engine implements that flow: a KV GET arriving here is turned into
+a ``DMA_READ`` toward the DMA engine; the completion (carrying the bytes
+from host memory) is matched back to the pending request, a KvResponse
+frame is synthesized, and the response heads back through the RMT
+pipeline for egress -- the CPU never runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engines.base import Engine, EngineOutput
+from repro.packet.builder import build_udp_frame, parse_frame
+from repro.packet.headers import HeaderError
+from repro.packet.kv import KvOpcode, KvRequest, KvResponse, KvStatus, KV_UDP_PORT
+from repro.packet.packet import Direction, MessageKind, Packet
+from repro.sim.clock import MHZ
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Counter
+
+
+class RdmaEngine(Engine):
+    """Serve KV GETs by DMA-reading host memory, bypassing the CPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        request_cycles: int = 16,
+        freq_hz: float = 500 * MHZ,
+        queue_capacity: Optional[int] = None,
+        **engine_kwargs,
+    ):
+        super().__init__(sim, name, freq_hz=freq_hz,
+                         queue_capacity=queue_capacity, **engine_kwargs)
+        self.request_cycles = request_cycles
+        #: The DMA engine's NoC address; set by the NIC builder.
+        self.dma_addr: Optional[int] = None
+        self._pending: Dict[int, Packet] = {}
+        self.reads_issued = Counter(f"{name}.reads_issued")
+        self.responses = Counter(f"{name}.responses")
+        self.not_found = Counter(f"{name}.not_found")
+
+    def service_time_ps(self, packet: Packet) -> int:
+        return self.clock.cycles_to_ps(self.request_cycles)
+
+    def handle(self, packet: Packet) -> List[EngineOutput]:
+        if packet.kind == MessageKind.DMA_COMPLETION:
+            return self._handle_completion(packet)
+        request = self._parse_get(packet)
+        if request is None:
+            return [(packet, None)]
+        if self.dma_addr is None:
+            raise RuntimeError(f"{self.name}: no DMA engine address configured")
+        # Issue the DMA read; remember the original request for later.
+        read = Packet(b"", MessageKind.DMA_READ)
+        read.meta.direction = Direction.INTERNAL
+        read.meta.tenant = request.tenant
+        read.meta.annotations["dma_key"] = bytes(request.key)
+        read.meta.annotations["dma_bytes"] = 256
+        read.meta.annotations["reply_to"] = self.address
+        read.meta.annotations["rdma_ctx"] = packet.packet_id
+        if packet.panic is not None:
+            read.panic = packet.panic.copy()
+            read.panic.chain = []
+            read.panic.cursor = 0
+        self._pending[packet.packet_id] = packet
+        self.reads_issued.add()
+        return [(read, self.dma_addr)]
+
+    def _handle_completion(self, completion: Packet) -> List[EngineOutput]:
+        ctx = completion.meta.annotations.get("rdma_ctx")
+        if ctx is None:
+            ctx = completion.meta.annotations.get("completes")
+        original = None
+        if ctx is not None:
+            # The DMA engine copies annotations we stashed on the read.
+            for pending_id in list(self._pending):
+                if pending_id == completion.meta.annotations.get("rdma_ctx"):
+                    original = self._pending.pop(pending_id)
+                    break
+        if original is None and self._pending:
+            # Single-outstanding fallback: match FIFO.
+            original = self._pending.pop(next(iter(self._pending)))
+        if original is None:
+            return []
+        request = self._parse_get(original)
+        assert request is not None
+        data = completion.meta.annotations.get("dma_data")
+        if data is None:
+            self.not_found.add()
+            response = KvResponse(KvStatus.NOT_FOUND, request.tenant, request.request_id)
+        else:
+            response = KvResponse(KvStatus.OK, request.tenant, request.request_id, data)
+        out = self._build_response(original, request, response)
+        self.responses.add()
+        return [(out, None)]
+
+    def _parse_get(self, packet: Packet) -> Optional[KvRequest]:
+        if packet.kind != MessageKind.ETHERNET:
+            return None
+        try:
+            frame = parse_frame(packet.data)
+            if not frame.is_kv or not frame.payload:
+                return None
+            if frame.payload[0] != KvOpcode.GET:
+                return None
+            return frame.kv_request()
+        except HeaderError:
+            return None
+
+    def _build_response(
+        self, original: Packet, request: KvRequest, response: KvResponse
+    ) -> Packet:
+        frame = parse_frame(original.data)
+        assert frame.ipv4 is not None and frame.udp is not None
+        data = build_udp_frame(
+            src_mac=frame.eth.dst,
+            dst_mac=frame.eth.src,
+            src_ip=frame.ipv4.dst,
+            dst_ip=frame.ipv4.src,
+            src_port=KV_UDP_PORT,
+            dst_port=frame.udp.src_port,
+            payload=response.pack(),
+            identification=request.request_id & 0xFFFF,
+        )
+        out = Packet(data, MessageKind.ETHERNET)
+        out.meta.direction = Direction.TX
+        out.meta.tenant = request.tenant
+        out.meta.nic_arrival_ps = original.meta.nic_arrival_ps
+        out.meta.created_ps = original.meta.created_ps
+        out.meta.egress_port = original.meta.ingress_port
+        out.meta.annotations["rdma_served"] = True
+        out.meta.annotations["request_ctx"] = original.meta.annotations.get("request_ctx")
+        return out
+
+    @property
+    def pending_reads(self) -> int:
+        return len(self._pending)

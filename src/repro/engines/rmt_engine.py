@@ -1,0 +1,163 @@
+"""The heavyweight RMT pipeline as an engine tile (Figure 3b).
+
+Timing follows section 4.2 exactly: a pipeline running at frequency ``F``
+with ``P`` parallel pipelines processes ``F * P`` packets per second.  The
+engine is *fully pipelined*: it accepts a new packet every ``1 / (F * P)``
+seconds regardless of pipeline depth, and each packet's latency is the
+stage count (parser + M+A stages + deparser) times the cycle time,
+multiplied by the number of chained RMT engines.
+
+What happens to a processed packet is delegated to a ``decision_handler``
+-- the PANIC core installs one that converts the PHV into a chain header
+and slack deadline; the FlexNIC baseline installs a simpler queue-steering
+handler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.engines.base import Engine, EngineOutput
+from repro.noc.message import NocMessage
+from repro.packet.packet import Packet
+from repro.rmt.phv import Phv
+from repro.rmt.pipeline import RmtPipeline, RmtProgram
+from repro.sim.clock import MHZ
+from repro.sim.kernel import Simulator
+from repro.sim.stats import Counter, RateMeter
+
+#: Extra cycles charged for the parser and deparser surrounding the
+#: match+action stages.
+PARSER_CYCLES = 1
+DEPARSER_CYCLES = 1
+
+#: A decision handler: converts (packet, phv) into routed outputs.
+DecisionHandler = Callable[[Packet, Phv], List[EngineOutput]]
+
+
+class RmtPipelineEngine(Engine):
+    """The heavyweight RMT pipeline tile.
+
+    Parameters
+    ----------
+    program:
+        The match+action program to execute.
+    pipelines:
+        ``P`` -- parallel pipelines; throughput is ``F * P`` pps.
+    chained_engines:
+        How many RMT engine tiles are chained into this logical pipeline
+        (section 3.1.2: "neighboring engines may ... be chained to form a
+        longer pipeline"); multiplies latency and stage budget but not
+        throughput.
+    decision_handler:
+        Interprets the resulting PHV; defaults to chain-header routing
+        installed by the PANIC core.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        program: RmtProgram,
+        pipelines: int = 1,
+        chained_engines: int = 1,
+        freq_hz: float = 500 * MHZ,
+        decision_handler: Optional[DecisionHandler] = None,
+    ):
+        super().__init__(sim, name, freq_hz=freq_hz)
+        if pipelines < 1:
+            raise ValueError(f"{name}: pipelines must be >= 1")
+        if chained_engines < 1:
+            raise ValueError(f"{name}: chained_engines must be >= 1")
+        self.pipeline = RmtPipeline(program)
+        self.pipelines = pipelines
+        self.chained_engines = chained_engines
+        self.decision_handler = decision_handler
+        self._next_accept_ps = 0
+        self.pps_meter = RateMeter(f"{name}.pps")
+        self.decisions = Counter(f"{name}.decisions")
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+
+    @property
+    def initiation_interval_ps(self) -> int:
+        """Time between packet admissions: one cycle shared by P pipelines."""
+        return max(1, self.clock.period_ps // self.pipelines)
+
+    @property
+    def latency_ps(self) -> int:
+        """End-to-end pipeline latency for one packet."""
+        stages = (
+            PARSER_CYCLES + self.pipeline.program.num_stages + DEPARSER_CYCLES
+        ) * self.chained_engines
+        return self.clock.cycles_to_ps(stages)
+
+    @property
+    def throughput_pps(self) -> float:
+        """The paper's F*P packets-per-second figure."""
+        return self.clock.freq_hz * self.pipelines
+
+    # ------------------------------------------------------------------
+    # Engine overrides: fully pipelined service
+    # ------------------------------------------------------------------
+
+    def _try_start(self) -> None:
+        # Admit from the scheduling queue at the initiation interval; each
+        # admitted packet completes `latency` later.  No lane blocking --
+        # the pipeline is, well, a pipeline.
+        while not self.queue.is_empty:
+            message, _rank = self.queue.pop()
+            start = max(self.now, self._next_accept_ps)
+            self._next_accept_ps = start + self.initiation_interval_ps
+            enq = message.packet.meta.annotations.pop("enqueue_ps", self.now)
+            self.queue_latency.observe(enq, self.now)
+            finish = start + self.latency_ps
+            self.schedule(finish - self.now, self._finish_rmt, message, start)
+
+    def _finish_rmt(self, message: NocMessage, started_ps: int) -> None:
+        self.processed.add()
+        self.pps_meter.record(self.now)
+        self.service_latency.observe(started_ps, self.now)
+        packet = message.packet
+        packet.touch(self.name)
+        phv = self.pipeline.process(
+            packet.data,
+            metadata=self._intrinsic_metadata(packet),
+            now_ps=self.now,
+        )
+        self.decisions.add()
+        outputs = self.decide(packet, phv)
+        for out_packet, dest in outputs:
+            if dest is None:
+                dest = self._route_by_chain(out_packet)
+            if dest is None:
+                self.terminal(out_packet)
+            elif dest == self.address:
+                self._loopback(out_packet)
+            else:
+                self.send(out_packet, dest)
+
+    def _intrinsic_metadata(self, packet: Packet) -> dict:
+        meta = {
+            "direction": packet.meta.direction.value.encode(),
+            "kind": packet.kind.value.encode(),
+        }
+        if packet.meta.ingress_port is not None:
+            meta["ingress_port"] = packet.meta.ingress_port
+        if packet.meta.egress_port is not None:
+            meta["egress_port"] = packet.meta.egress_port
+        if packet.meta.tenant is not None:
+            meta["tenant"] = packet.meta.tenant
+        return meta
+
+    def decide(self, packet: Packet, phv: Phv) -> List[EngineOutput]:
+        """Turn the pipeline's PHV into routing decisions."""
+        if self.decision_handler is None:
+            raise RuntimeError(
+                f"{self.name}: no decision handler installed; the NIC "
+                "builder must provide one"
+            )
+        return self.decision_handler(packet, phv)

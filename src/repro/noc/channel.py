@@ -1,0 +1,162 @@
+"""A one-way on-chip channel with serialization and credit backpressure.
+
+The paper (section 3.1.2) requires the on-chip network to be *lossless*:
+messages are never dropped in flight; drops happen only at the logical
+scheduler.  We implement losslessness with credits: a channel may start a
+transfer only while it holds a credit for a downstream buffer slot, and the
+receiver returns the credit when the message leaves its input buffer.
+
+Timing model (store-and-forward):
+
+* serialization takes ``ceil(bits / width_bits)`` cycles of the channel
+  clock -- a message occupies the wires for its whole length;
+* the downstream router adds one cycle of latency per hop (section 3.1.2:
+  "routers add one cycle of latency at each hop"), charged here as part of
+  the delivery delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Component, Simulator
+from repro.sim.stats import Counter
+
+if TYPE_CHECKING:
+    from repro.noc.message import NocMessage
+
+#: Per-hop router pipeline latency in cycles (paper section 3.1.2).
+ROUTER_HOP_CYCLES = 1
+
+
+class Channel(Component):
+    """A unidirectional link between two NoC components.
+
+    Parameters
+    ----------
+    sim, name:
+        Simulation kernel plumbing.
+    width_bits:
+        Channel bit width per cycle; the paper evaluates 64 and 128.
+    clock:
+        The NoC clock domain (500 MHz in the paper's reference numbers).
+    deliver:
+        Callback ``deliver(message, channel)`` invoked when a message has
+        fully arrived downstream.
+    credits:
+        Number of downstream buffer slots, i.e. the credit pool.
+    on_drain:
+        Optional callback fired whenever a transfer *starts*, freeing the
+        sender-side slot -- routers use it to resume stalled forwarding.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        width_bits: int,
+        clock: Clock,
+        deliver: Callable[["NocMessage", "Channel"], None],
+        credits: int = 4,
+        on_drain: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(sim, name)
+        if width_bits <= 0:
+            raise ValueError(f"channel width must be positive, got {width_bits}")
+        if credits <= 0:
+            raise ValueError(f"channel needs at least one credit, got {credits}")
+        self.width_bits = width_bits
+        self.clock = clock
+        self.deliver = deliver
+        self.on_drain = on_drain
+        self._credits = credits
+        self._max_credits = credits
+        self._pending: Deque["NocMessage"] = deque()
+        self._busy_until = 0
+        self._transfer_in_progress = False
+        # Statistics.
+        self.sent = Counter(f"{name}.sent")
+        self.bits_sent = Counter(f"{name}.bits")
+        self.stall_events = Counter(f"{name}.stalls")
+
+    # ------------------------------------------------------------------
+    # Sender interface
+    # ------------------------------------------------------------------
+
+    def submit(self, message: "NocMessage") -> None:
+        """Queue a message for transmission (never drops)."""
+        self._pending.append(message)
+        self._try_start()
+
+    @property
+    def queue_len(self) -> int:
+        """Messages waiting for the wire (sender side)."""
+        return len(self._pending)
+
+    @property
+    def credits(self) -> int:
+        """Credits currently available."""
+        return self._credits
+
+    def can_accept(self, limit: int = 1) -> bool:
+        """True when the sender-side queue is below ``limit``.
+
+        Routers use this to decide whether moving a message here would
+        simply relocate a queue; keeping the limit small propagates
+        backpressure toward the source instead of hiding it.
+        """
+        return len(self._pending) < limit
+
+    # ------------------------------------------------------------------
+    # Receiver interface
+    # ------------------------------------------------------------------
+
+    def release_credit(self) -> None:
+        """Called by the receiver when a message leaves its input buffer."""
+        if self._credits >= self._max_credits:
+            raise RuntimeError(f"{self.name}: credit overflow")
+        self._credits += 1
+        self._try_start()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _serialization_ps(self, bits: int) -> int:
+        cycles = -(-bits // self.width_bits)  # ceil division
+        return self.clock.cycles_to_ps(cycles + ROUTER_HOP_CYCLES)
+
+    def _try_start(self) -> None:
+        if self._transfer_in_progress or not self._pending:
+            return
+        if self._credits <= 0:
+            self.stall_events.add()
+            return
+        message = self._pending.popleft()
+        self._credits -= 1
+        self._transfer_in_progress = True
+        start = max(self.now, self._busy_until)
+        duration = self._serialization_ps(message.bits)
+        self._busy_until = start + duration
+        self.schedule(self._busy_until - self.now, self._complete, message)
+        self.sent.add()
+        self.bits_sent.add(message.bits)
+        if self.on_drain is not None:
+            self.on_drain()
+
+    def _complete(self, message: "NocMessage") -> None:
+        self._transfer_in_progress = False
+        message.hops += 1
+        self.deliver(message, self)
+        self._try_start()
+
+    def utilization(self, elapsed_ps: int) -> float:
+        """Fraction of ``elapsed_ps`` the wires spent busy."""
+        if elapsed_ps <= 0:
+            return 0.0
+        busy = min(self._busy_until, elapsed_ps)
+        ser_bits = self.bits_sent.value
+        ideal = self.clock.cycles_to_ps(-(-ser_bits // self.width_bits))
+        return min(1.0, ideal / elapsed_ps) if elapsed_ps else 0.0

@@ -1,0 +1,126 @@
+"""MAC and IPv4 address value types.
+
+Implemented from scratch (no ``ipaddress`` import) so the wire encoding is
+explicit and the types stay tiny, hashable and cheap to compare -- they are
+used as match keys in RMT tables.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+
+class MacAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("value",)
+
+    _STR_RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+    def __init__(self, value: Union[int, str, bytes, "MacAddress"]):
+        if isinstance(value, MacAddress):
+            self.value = value.value
+        elif isinstance(value, int):
+            if not 0 <= value < 1 << 48:
+                raise ValueError(f"MAC address out of range: {value:#x}")
+            self.value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 6:
+                raise ValueError(f"MAC address needs 6 bytes, got {len(value)}")
+            self.value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            if not self._STR_RE.match(value):
+                raise ValueError(f"malformed MAC address string: {value!r}")
+            self.value = int(value.replace(":", ""), 16)
+        else:
+            raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == (1 << 48) - 1
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the group bit (lowest bit of the first octet) is set."""
+        return bool((self.value >> 40) & 1)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MacAddress) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self.value))
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+
+#: The all-ones broadcast MAC.
+BROADCAST_MAC = MacAddress((1 << 48) - 1)
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[int, str, bytes, "IPv4Address"]):
+        if isinstance(value, IPv4Address):
+            self.value = value.value
+        elif isinstance(value, int):
+            if not 0 <= value < 1 << 32:
+                raise ValueError(f"IPv4 address out of range: {value:#x}")
+            self.value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 4:
+                raise ValueError(f"IPv4 address needs 4 bytes, got {len(value)}")
+            self.value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 address string: {value!r}")
+            acc = 0
+            for part in parts:
+                if not part.isdigit():
+                    raise ValueError(f"malformed IPv4 address string: {value!r}")
+                octet = int(part)
+                if octet > 255:
+                    raise ValueError(f"IPv4 octet out of range in {value!r}")
+                acc = (acc << 8) | octet
+            self.value = acc
+        else:
+            raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(4, "big")
+
+    def in_subnet(self, network: "IPv4Address", prefix_len: int) -> bool:
+        """True when this address falls inside ``network/prefix_len``."""
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        if prefix_len == 0:
+            return True
+        mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+        return (self.value & mask) == (network.value & mask)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPv4Address) and self.value == other.value
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self.value))
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"

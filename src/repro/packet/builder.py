@@ -1,0 +1,186 @@
+"""Frame builders and a whole-frame parser.
+
+These helpers assemble byte-accurate Ethernet/IPv4/UDP frames (optionally
+carrying KV protocol messages) and parse them back into header objects.
+They are used by workload generators, tests and the host model alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.packet.addresses import IPv4Address, MacAddress
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    IP_PROTO_ESP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    EspHeader,
+    EthernetHeader,
+    HeaderError,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.packet.kv import KV_UDP_PORT, KvOpcode, KvRequest, KvResponse
+from repro.packet.packet import MessageKind, Packet
+
+
+@dataclass
+class ParsedFrame:
+    """All the views a full parse produces (missing layers are ``None``)."""
+
+    eth: EthernetHeader
+    ipv4: Optional[Ipv4Header] = None
+    udp: Optional[UdpHeader] = None
+    tcp: Optional[TcpHeader] = None
+    esp: Optional[EspHeader] = None
+    payload: bytes = b""
+
+    @property
+    def is_kv(self) -> bool:
+        """Heuristic: UDP on the well-known KV port."""
+        return self.udp is not None and KV_UDP_PORT in (
+            self.udp.src_port,
+            self.udp.dst_port,
+        )
+
+    def kv_request(self) -> KvRequest:
+        request, _rest = KvRequest.unpack(self.payload)
+        return request
+
+    def kv_response(self) -> KvResponse:
+        response, _rest = KvResponse.unpack(self.payload)
+        return response
+
+
+def parse_frame(data: bytes) -> ParsedFrame:
+    """Parse an Ethernet frame down to the transport payload.
+
+    Unknown EtherTypes stop at L2; unknown IP protocols stop at L3.  ESP
+    packets stop at the ESP header (the remainder is ciphertext only the
+    IPSec engine can interpret).
+    """
+    eth, rest = EthernetHeader.unpack(data)
+    parsed = ParsedFrame(eth=eth, payload=rest)
+    if eth.ethertype != ETHERTYPE_IPV4:
+        return parsed
+    ipv4, rest = Ipv4Header.unpack(rest)
+    parsed.ipv4 = ipv4
+    # Respect total_length: the MAC may have padded the frame to 64 bytes.
+    l3_payload_len = ipv4.total_length - Ipv4Header.LENGTH
+    if l3_payload_len < 0 or l3_payload_len > len(rest):
+        raise HeaderError(
+            f"IPv4 total_length {ipv4.total_length} inconsistent with frame"
+        )
+    rest = rest[:l3_payload_len]
+    parsed.payload = rest
+    if ipv4.protocol == IP_PROTO_UDP:
+        udp, rest = UdpHeader.unpack(rest)
+        parsed.udp = udp
+        parsed.payload = rest[: udp.length - UdpHeader.LENGTH]
+    elif ipv4.protocol == IP_PROTO_TCP:
+        tcp, rest = TcpHeader.unpack(rest)
+        parsed.tcp = tcp
+        parsed.payload = rest
+    elif ipv4.protocol == IP_PROTO_ESP:
+        esp, rest = EspHeader.unpack(rest)
+        parsed.esp = esp
+        parsed.payload = rest
+    return parsed
+
+
+def build_eth_frame(
+    dst: Union[str, MacAddress],
+    src: Union[str, MacAddress],
+    payload: bytes,
+    ethertype: int = ETHERTYPE_IPV4,
+) -> bytes:
+    """A raw Ethernet frame (padded to the 64-byte minimum by the MAC)."""
+    return EthernetHeader(MacAddress(dst), MacAddress(src), ethertype).pack() + payload
+
+
+def build_udp_frame(
+    *,
+    src_mac: Union[str, MacAddress],
+    dst_mac: Union[str, MacAddress],
+    src_ip: Union[str, IPv4Address],
+    dst_ip: Union[str, IPv4Address],
+    src_port: int,
+    dst_port: int,
+    payload: bytes,
+    dscp: int = 0,
+    ecn: int = 0,
+    ttl: int = 64,
+    identification: int = 0,
+) -> bytes:
+    """A full Ethernet/IPv4/UDP frame with valid lengths and checksums."""
+    udp_len = UdpHeader.LENGTH + len(payload)
+    ipv4 = Ipv4Header(
+        src=IPv4Address(src_ip),
+        dst=IPv4Address(dst_ip),
+        protocol=IP_PROTO_UDP,
+        total_length=Ipv4Header.LENGTH + udp_len,
+        dscp=dscp,
+        ecn=ecn,
+        ttl=ttl,
+        identification=identification,
+    )
+    udp = UdpHeader(src_port, dst_port, udp_len)
+    eth = EthernetHeader(MacAddress(dst_mac), MacAddress(src_mac), ETHERTYPE_IPV4)
+    return eth.pack() + ipv4.pack() + udp.pack_with_checksum(ipv4, payload) + payload
+
+
+def build_kv_request_frame(
+    request: KvRequest,
+    *,
+    src_mac: Union[str, MacAddress] = "02:00:00:00:00:01",
+    dst_mac: Union[str, MacAddress] = "02:00:00:00:00:02",
+    src_ip: Union[str, IPv4Address] = "10.0.0.1",
+    dst_ip: Union[str, IPv4Address] = "10.0.0.2",
+    src_port: int = 40000,
+    dscp: int = 0,
+    ecn: int = 0,
+) -> Packet:
+    """Wrap a KV request in a UDP frame and return it as a Packet."""
+    frame = build_udp_frame(
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=KV_UDP_PORT,
+        payload=request.pack(),
+        dscp=dscp,
+        ecn=ecn,
+        identification=request.request_id & 0xFFFF,
+    )
+    packet = Packet(frame, MessageKind.ETHERNET)
+    packet.meta.tenant = request.tenant
+    return packet
+
+
+def build_kv_response_frame(
+    response: KvResponse,
+    *,
+    src_mac: Union[str, MacAddress] = "02:00:00:00:00:02",
+    dst_mac: Union[str, MacAddress] = "02:00:00:00:00:01",
+    src_ip: Union[str, IPv4Address] = "10.0.0.2",
+    dst_ip: Union[str, IPv4Address] = "10.0.0.1",
+    dst_port: int = 40000,
+) -> Packet:
+    """Wrap a KV response in a UDP frame and return it as a Packet."""
+    frame = build_udp_frame(
+        src_mac=src_mac,
+        dst_mac=dst_mac,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=KV_UDP_PORT,
+        dst_port=dst_port,
+        payload=response.pack(),
+        identification=response.request_id & 0xFFFF,
+    )
+    packet = Packet(frame, MessageKind.ETHERNET)
+    packet.meta.tenant = response.tenant
+    return packet

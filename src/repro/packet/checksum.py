@@ -1,0 +1,67 @@
+"""Checksum algorithms used by the protocol stack.
+
+``internet_checksum`` is the RFC 1071 ones'-complement sum used by IPv4,
+UDP and TCP.  ``crc32`` is the IEEE 802.3 CRC used for Ethernet FCS and as
+the integrity check of the simulated checksum-offload engine.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 16-bit ones'-complement checksum of ``data``.
+
+    Odd-length input is implicitly padded with a zero byte, per the RFC.
+    Returns the checksum as an integer in [0, 0xFFFF] ready to be stored in
+    a header (i.e. already complemented).
+    """
+    total = 0
+    length = len(data)
+    # Sum 16-bit big-endian words.
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    # Fold carries.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_internet_checksum(data: bytes) -> bool:
+    """True when ``data`` (with its checksum field in place) sums to zero."""
+    total = 0
+    length = len(data)
+    for i in range(0, length - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if length % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF
+
+
+_CRC32_TABLE = []
+
+
+def _build_crc_table() -> None:
+    poly = 0xEDB88320
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+        _CRC32_TABLE.append(crc)
+
+
+_build_crc_table()
+
+
+def crc32(data: bytes, seed: int = 0xFFFFFFFF) -> int:
+    """IEEE 802.3 CRC-32 (the same polynomial as Ethernet FCS / zlib)."""
+    crc = seed
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC32_TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,174 @@
+"""The :class:`Packet` container carried through every simulator.
+
+A packet couples the raw frame bytes with NIC-side metadata: identifiers,
+timestamps used by latency trackers, the tenant/flow labels assigned by
+classification, and -- inside PANIC -- the parsed on-chip chain header.
+
+Section 3.1 of the paper: *"even messages between different on-NIC engines
+... that are not Ethernet packets can be treated as if they were"*.  The
+same :class:`Packet` type therefore also represents DMA requests, DMA
+completions and doorbells; ``kind`` distinguishes them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.packet.panic_hdr import PanicHeader
+
+#: Minimum Ethernet frame (64 bytes including FCS).
+MIN_FRAME_BYTES = 64
+#: Preamble (7) + SFD (1) + inter-frame gap (12) bytes per frame on the wire.
+WIRE_OVERHEAD_BYTES = 20
+
+
+def wire_bits(frame_bytes: int) -> int:
+    """Bits a frame occupies on the physical wire, including preamble+IFG.
+
+    Frames shorter than the Ethernet minimum are padded to 64 bytes, which
+    is how the paper's Table 2 arrives at its packets-per-second numbers
+    (64 B minimum frame + 20 B overhead = 84 B = 672 bits per packet).
+    """
+    if frame_bytes < 0:
+        raise ValueError(f"negative frame size: {frame_bytes}")
+    padded = max(frame_bytes, MIN_FRAME_BYTES)
+    return (padded + WIRE_OVERHEAD_BYTES) * 8
+
+
+class MessageKind(enum.Enum):
+    """What a message on the unified on-chip network represents."""
+
+    ETHERNET = "ethernet"  # a network frame (RX or TX)
+    DMA_READ = "dma_read"  # request to read host memory
+    DMA_WRITE = "dma_write"  # request to write host memory
+    DMA_COMPLETION = "dma_completion"
+    DOORBELL = "doorbell"  # PCIe doorbell / interrupt message
+    CONTROL = "control"  # table updates, credits, ...
+
+
+class Direction(enum.Enum):
+    RX = "rx"
+    TX = "tx"
+    INTERNAL = "internal"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class PacketMetadata:
+    """Mutable NIC-side metadata that never appears on the external wire."""
+
+    ingress_port: Optional[int] = None
+    egress_port: Optional[int] = None
+    direction: Direction = Direction.RX
+    tenant: Optional[int] = None
+    flow_id: Optional[int] = None
+    priority: int = 0
+    created_ps: int = 0
+    nic_arrival_ps: Optional[int] = None
+    nic_departure_ps: Optional[int] = None
+    #: Per-experiment scratch values (e.g. which offloads touched this packet).
+    annotations: Dict[str, Any] = field(default_factory=dict)
+
+
+class Packet:
+    """A message travelling through a NIC simulation.
+
+    Parameters
+    ----------
+    data:
+        The frame (or message) payload bytes.
+    kind:
+        What the message represents on the unified network.
+    meta:
+        Optional pre-populated metadata.
+    """
+
+    __slots__ = ("packet_id", "data", "kind", "meta", "panic")
+
+    def __init__(
+        self,
+        data: bytes,
+        kind: MessageKind = MessageKind.ETHERNET,
+        meta: Optional[PacketMetadata] = None,
+    ):
+        self.packet_id: int = next(_packet_ids)
+        self.data = bytes(data)
+        self.kind = kind
+        self.meta = meta if meta is not None else PacketMetadata()
+        #: PANIC chain header; attached by the RMT pipeline, consumed by
+        #: per-engine lookup logic.  ``None`` outside the PANIC NIC.
+        self.panic: Optional[PanicHeader] = None
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def frame_bytes(self) -> int:
+        """Length of the frame as handed to / received from the MAC."""
+        return len(self.data)
+
+    @property
+    def wire_bits(self) -> int:
+        """Bits occupied on the external Ethernet wire."""
+        return wire_bits(len(self.data))
+
+    @property
+    def chip_bits(self) -> int:
+        """Bits occupied on the on-chip network (frame + chain header).
+
+        In pointer mode (payload parked in a shared packet buffer) the
+        network carries only a descriptor; the MAC sets the
+        ``noc_bits`` annotation and this property honours it.
+        """
+        override = self.meta.annotations.get("noc_bits")
+        if override is not None:
+            return int(override)
+        extra = self.panic.length if self.panic is not None else 0
+        return (len(self.data) + extra) * 8
+
+    # ------------------------------------------------------------------
+    # Lifecycle helpers
+    # ------------------------------------------------------------------
+
+    def touch(self, engine_name: str) -> None:
+        """Record that an engine processed this packet (for assertions)."""
+        trail = self.meta.annotations.setdefault("trail", [])
+        trail.append(engine_name)
+
+    @property
+    def trail(self) -> list:
+        """Ordered list of engines that processed this packet."""
+        return list(self.meta.annotations.get("trail", []))
+
+    def clone(self) -> "Packet":
+        """Deep-enough copy with a fresh packet id (for multicast/replies)."""
+        copy = Packet(self.data, self.kind, PacketMetadata(**{
+            "ingress_port": self.meta.ingress_port,
+            "egress_port": self.meta.egress_port,
+            "direction": self.meta.direction,
+            "tenant": self.meta.tenant,
+            "flow_id": self.meta.flow_id,
+            "priority": self.meta.priority,
+            "created_ps": self.meta.created_ps,
+            "nic_arrival_ps": self.meta.nic_arrival_ps,
+            "nic_departure_ps": self.meta.nic_departure_ps,
+            "annotations": dict(self.meta.annotations),
+        }))
+        if self.panic is not None:
+            copy.panic = self.panic.copy()
+        return copy
+
+    def __repr__(self) -> str:
+        chain = ""
+        if self.panic is not None:
+            chain = f", chain={self.panic.remaining()}"
+        return (
+            f"Packet(#{self.packet_id}, {self.kind.value}, "
+            f"{self.frame_bytes}B{chain})"
+        )

@@ -1,0 +1,234 @@
+"""Action primitives and stateful registers.
+
+Actions are the per-stage compute of an RMT pipeline.  Each is a named
+function over ``(phv, ctx, **params)``; the standard library below covers
+what the PANIC reference program needs: field writes, chain construction,
+slack computation, queue selection, drops, and stateful counters.
+
+The paper's constraint that "the actions possible at each stage are
+limited to relatively simple atoms" (section 2.3.3) is preserved in
+spirit: every standard action is O(1) over PHV fields and registers; no
+action can loop over the payload, which is exactly why IPSec cannot be an
+RMT action and must be an offload engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.rmt.phv import Phv
+
+
+class ActionError(RuntimeError):
+    """Raised when an action is misused (unknown name, bad params)."""
+
+
+class Register:
+    """A stateful register array, as in RMT switch designs.
+
+    Supports the read / modify / write patterns actions need (counters,
+    round-robin pointers, sequence numbers).
+    """
+
+    def __init__(self, name: str, size: int, initial: int = 0):
+        if size <= 0:
+            raise ValueError(f"register {name!r} needs positive size, got {size}")
+        self.name = name
+        self._cells: List[int] = [initial] * size
+
+    def read(self, index: int) -> int:
+        return self._cells[self._check(index)]
+
+    def write(self, index: int, value: int) -> None:
+        self._cells[self._check(index)] = value
+
+    def add(self, index: int, delta: int = 1) -> int:
+        i = self._check(index)
+        self._cells[i] += delta
+        return self._cells[i]
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < len(self._cells):
+            raise IndexError(
+                f"register {self.name!r} index {index} out of range "
+                f"[0, {len(self._cells)})"
+            )
+        return index
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+@dataclass
+class ActionContext:
+    """Shared state actions may touch: registers and the pipeline clock.
+
+    ``now_ps`` is the time the packet entered the pipeline -- the only
+    notion of time an action gets, used for computing absolute slack
+    deadlines.
+    """
+
+    registers: Dict[str, Register] = field(default_factory=dict)
+    now_ps: int = 0
+
+    def register(self, name: str) -> Register:
+        reg = self.registers.get(name)
+        if reg is None:
+            raise ActionError(f"unknown register {name!r}")
+        return reg
+
+
+#: The signature of every action primitive.
+Action = Callable[..., None]
+
+
+# ----------------------------------------------------------------------
+# Standard action library
+# ----------------------------------------------------------------------
+
+
+def no_op(phv: Phv, ctx: ActionContext) -> None:
+    """Do nothing (the default default-action)."""
+
+
+def drop(phv: Phv, ctx: ActionContext) -> None:
+    """Mark the packet for dropping by the scheduler (lossy traffic)."""
+    phv.set("meta.drop", 1)
+
+
+def set_field(phv: Phv, ctx: ActionContext, *, field: str, value: Any) -> None:
+    """Write a constant into a PHV field."""
+    phv.set(field, value)
+
+
+def copy_field(phv: Phv, ctx: ActionContext, *, src: str, dst: str) -> None:
+    """Copy one PHV field to another."""
+    phv.set(dst, phv.get(src))
+
+
+def set_chain(phv: Phv, ctx: ActionContext, *, chain: List[int]) -> None:
+    """Replace the packet's offload chain (list of engine addresses)."""
+    phv.set("meta.chain", b"".join(addr.to_bytes(2, "big") for addr in chain))
+
+
+def push_chain(phv: Phv, ctx: ActionContext, *, engine: int) -> None:
+    """Append one engine address to the offload chain."""
+    existing = phv.get_or("meta.chain", b"")
+    assert isinstance(existing, bytes)
+    phv.set("meta.chain", existing + engine.to_bytes(2, "big"))
+
+
+def set_slack(phv: Phv, ctx: ActionContext, *, slack_ps: int) -> None:
+    """Set the scheduler deadline to ``now + slack_ps`` (section 3.1.3)."""
+    phv.set("meta.slack_deadline_ps", ctx.now_ps + slack_ps)
+
+
+def set_priority(phv: Phv, ctx: ActionContext, *, priority: int) -> None:
+    phv.set("meta.priority", priority)
+
+
+def set_queue(phv: Phv, ctx: ActionContext, *, queue: int) -> None:
+    """Steer to a host receive queue (RSS-style)."""
+    phv.set("meta.rx_queue", queue)
+
+
+def set_egress(phv: Phv, ctx: ActionContext, *, port: int) -> None:
+    phv.set("meta.egress_port", port)
+
+
+def set_tenant(phv: Phv, ctx: ActionContext, *, tenant: int) -> None:
+    phv.set("meta.tenant", tenant)
+
+
+def mark_needs_rmt(phv: Phv, ctx: ActionContext) -> None:
+    """Flag that the chain must return to the RMT pipeline (section 3.1.2,
+    e.g. encrypted packets whose inner chain is unknown until decrypted)."""
+    phv.set("meta.needs_rmt", 1)
+
+
+def mark_droppable(phv: Phv, ctx: ActionContext) -> None:
+    """Flag the message as lossy (droppable under memory pressure)."""
+    phv.set("meta.droppable", 1)
+
+
+def count(phv: Phv, ctx: ActionContext, *, register: str, index: int = 0) -> None:
+    """Increment a register cell (stateful counter)."""
+    ctx.register(register).add(index)
+
+
+def load_balance(
+    phv: Phv,
+    ctx: ActionContext,
+    *,
+    register: str,
+    ways: int,
+    dst: str = "meta.rx_queue",
+) -> None:
+    """Round-robin a value in [0, ways) into ``dst`` using a register."""
+    if ways <= 0:
+        raise ActionError(f"load_balance needs positive ways, got {ways}")
+    reg = ctx.register(register)
+    value = reg.read(0)
+    reg.write(0, (value + 1) % ways)
+    phv.set(dst, value % ways)
+
+
+def hash_select(
+    phv: Phv,
+    ctx: ActionContext,
+    *,
+    fields: List[str],
+    ways: int,
+    dst: str = "meta.rx_queue",
+) -> None:
+    """Hash PHV fields into [0, ways) (RSS-style flow-stable steering)."""
+    if ways <= 0:
+        raise ActionError(f"hash_select needs positive ways, got {ways}")
+    acc = 0x811C9DC5
+    for name in fields:
+        value = phv.get(name)
+        data = value if isinstance(value, bytes) else value.to_bytes(8, "big")
+        for byte in data:
+            acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    phv.set(dst, acc % ways)
+
+
+def decrement_ttl(phv: Phv, ctx: ActionContext) -> None:
+    ttl = phv.get("ipv4.ttl")
+    assert isinstance(ttl, int)
+    if ttl <= 1:
+        phv.set("meta.drop", 1)
+    phv.set("ipv4.ttl", max(0, ttl - 1))
+
+
+def standard_actions() -> Dict[str, Action]:
+    """The default action registry installed in every pipeline."""
+    return {
+        "no_op": no_op,
+        "drop": drop,
+        "set_field": set_field,
+        "copy_field": copy_field,
+        "set_chain": set_chain,
+        "push_chain": push_chain,
+        "set_slack": set_slack,
+        "set_priority": set_priority,
+        "set_queue": set_queue,
+        "set_egress": set_egress,
+        "set_tenant": set_tenant,
+        "mark_needs_rmt": mark_needs_rmt,
+        "mark_droppable": mark_droppable,
+        "count": count,
+        "load_balance": load_balance,
+        "hash_select": hash_select,
+        "decrement_ttl": decrement_ttl,
+    }
+
+
+def decode_chain(blob: bytes) -> List[int]:
+    """Decode the ``meta.chain`` byte string back to engine addresses."""
+    if len(blob) % 2:
+        raise ActionError(f"chain blob has odd length {len(blob)}")
+    return [
+        int.from_bytes(blob[i : i + 2], "big") for i in range(0, len(blob), 2)
+    ]

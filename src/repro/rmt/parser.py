@@ -1,0 +1,200 @@
+"""The programmable packet parser (parse graph).
+
+An RMT parser is a finite state machine: each state extracts one header,
+writes its fields into the PHV, and selects the next state from a PHV
+field it just extracted (EtherType, IP protocol, UDP port...).  This module
+implements that model and ships the default parse graph used by the PANIC
+reference program: Ethernet -> IPv4 -> {UDP -> KV | TCP | ESP}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.packet.headers import (
+    ETHERTYPE_IPV4,
+    IP_PROTO_ESP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    EspHeader,
+    EthernetHeader,
+    HeaderError,
+    Ipv4Header,
+    TcpHeader,
+    UdpHeader,
+)
+from repro.packet.kv import KV_UDP_PORT, KvOpcode, KvRequest, KvResponse
+from repro.rmt.phv import Phv
+
+#: An extraction function: consumes bytes, writes PHV fields, returns the
+#: remaining bytes and the value used for next-state selection (or None).
+Extractor = Callable[[bytes, Phv], Tuple[bytes, Optional[int]]]
+
+#: Terminal pseudo-state.
+ACCEPT = "accept"
+
+
+@dataclass
+class ParserState:
+    """One node of the parse graph."""
+
+    name: str
+    extractor: Extractor
+    #: Map from select value to next state name; ``None`` key is default.
+    transitions: Dict[Optional[int], str] = field(default_factory=dict)
+
+    def next_state(self, select: Optional[int]) -> str:
+        if select is not None and select in self.transitions:
+            return self.transitions[select]
+        return self.transitions.get(None, ACCEPT)
+
+
+class ParseGraph:
+    """A programmable parser: a named set of states plus a start state."""
+
+    def __init__(self, start: str):
+        self.start = start
+        self._states: Dict[str, ParserState] = {}
+
+    def add_state(self, state: ParserState) -> "ParseGraph":
+        if state.name in self._states:
+            raise ValueError(f"duplicate parser state {state.name!r}")
+        self._states[state.name] = state
+        return self
+
+    def parse(self, data: bytes, phv: Optional[Phv] = None) -> Phv:
+        """Run the FSM over ``data``; returns the populated PHV.
+
+        A :class:`~repro.packet.headers.HeaderError` mid-parse stops the
+        walk and marks ``meta.parse_error`` instead of raising: real
+        parsers deliver malformed packets to a default queue rather than
+        wedging the pipeline.
+        """
+        if phv is None:
+            phv = Phv()
+        state_name = self.start
+        remaining = data
+        steps = 0
+        while state_name != ACCEPT:
+            if steps > len(self._states) + 8:
+                raise RuntimeError("parse graph did not terminate (cycle?)")
+            steps += 1
+            state = self._states.get(state_name)
+            if state is None:
+                raise ValueError(f"parse graph references unknown state {state_name!r}")
+            try:
+                remaining, select = state.extractor(remaining, phv)
+            except HeaderError as exc:
+                phv.set("meta.parse_error", 1)
+                phv.set("meta.parse_error_state", state_name.encode())
+                break
+            state_name = state.next_state(select)
+        phv.set("meta.payload", remaining)
+        return phv
+
+
+# ----------------------------------------------------------------------
+# Default extractors
+# ----------------------------------------------------------------------
+
+
+def extract_ethernet(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    eth, rest = EthernetHeader.unpack(data)
+    phv.set("eth.dst", eth.dst.value)
+    phv.set("eth.src", eth.src.value)
+    phv.set("eth.type", eth.ethertype)
+    return rest, eth.ethertype
+
+
+def extract_ipv4(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    ipv4, rest = Ipv4Header.unpack(data)
+    phv.set("ipv4.src", ipv4.src.value)
+    phv.set("ipv4.dst", ipv4.dst.value)
+    phv.set("ipv4.proto", ipv4.protocol)
+    phv.set("ipv4.ttl", ipv4.ttl)
+    phv.set("ipv4.dscp", ipv4.dscp)
+    phv.set("ipv4.ecn", ipv4.ecn)
+    phv.set("ipv4.len", ipv4.total_length)
+    phv.set("ipv4.id", ipv4.identification)
+    # Trim MAC padding using the IP length, like a real deparser would.
+    l3_payload = ipv4.total_length - Ipv4Header.LENGTH
+    if 0 <= l3_payload <= len(rest):
+        rest = rest[:l3_payload]
+    return rest, ipv4.protocol
+
+
+def extract_udp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    udp, rest = UdpHeader.unpack(data)
+    phv.set("udp.src_port", udp.src_port)
+    phv.set("udp.dst_port", udp.dst_port)
+    phv.set("udp.len", udp.length)
+    select = KV_UDP_PORT if KV_UDP_PORT in (udp.src_port, udp.dst_port) else 0
+    return rest, select
+
+
+def extract_tcp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    tcp, rest = TcpHeader.unpack(data)
+    phv.set("tcp.src_port", tcp.src_port)
+    phv.set("tcp.dst_port", tcp.dst_port)
+    phv.set("tcp.flags", tcp.flags)
+    phv.set("tcp.seq", tcp.seq)
+    return rest, None
+
+
+def extract_esp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    esp, rest = EspHeader.unpack(data)
+    phv.set("esp.spi", esp.spi)
+    phv.set("esp.seq", esp.seq)
+    # Ciphertext beyond the ESP header is opaque to the parser.
+    return rest, None
+
+
+def extract_kv(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    """Extract the KV opcode/tenant/key without copying the value."""
+    if not data:
+        raise HeaderError("empty KV payload")
+    opcode = data[0]
+    phv.set("kv.opcode", opcode)
+    if opcode == KvOpcode.RESPONSE:
+        response, rest = KvResponse.unpack(data)
+        phv.set("kv.tenant", response.tenant)
+        phv.set("kv.request_id", response.request_id)
+        phv.set("kv.status", int(response.status))
+        return rest, None
+    request, rest = KvRequest.unpack(data)
+    phv.set("kv.tenant", request.tenant)
+    phv.set("kv.request_id", request.request_id)
+    phv.set("kv.key", request.key)
+    return rest, None
+
+
+def default_parse_graph() -> ParseGraph:
+    """Ethernet -> IPv4 -> {UDP -> KV, TCP, ESP} parse graph."""
+    graph = ParseGraph(start="ethernet")
+    graph.add_state(
+        ParserState(
+            "ethernet",
+            extract_ethernet,
+            {ETHERTYPE_IPV4: "ipv4", None: ACCEPT},
+        )
+    )
+    graph.add_state(
+        ParserState(
+            "ipv4",
+            extract_ipv4,
+            {
+                IP_PROTO_UDP: "udp",
+                IP_PROTO_TCP: "tcp",
+                IP_PROTO_ESP: "esp",
+                None: ACCEPT,
+            },
+        )
+    )
+    graph.add_state(
+        ParserState("udp", extract_udp, {KV_UDP_PORT: "kv", None: ACCEPT})
+    )
+    graph.add_state(ParserState("tcp", extract_tcp, {None: ACCEPT}))
+    graph.add_state(ParserState("esp", extract_esp, {None: ACCEPT}))
+    graph.add_state(ParserState("kv", extract_kv, {None: ACCEPT}))
+    return graph

@@ -1,0 +1,181 @@
+"""The match+action pipeline: stages, programs, and the pure dataplane.
+
+An :class:`RmtProgram` bundles a parse graph, an ordered list of stages
+(one table each), an action registry and stateful registers -- the moral
+equivalent of a compiled P4 program.  :class:`RmtPipeline` executes it as
+a pure function: ``process(packet_bytes, metadata, now_ps) -> Phv``.
+
+Timing (the paper's F*P packets per second, one packet per cycle per
+pipeline, section 4.2) is layered on by the engine wrapper
+(:mod:`repro.engines.rmt_engine`); keeping the dataplane pure makes it
+directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.packet.addresses import IPv4Address, MacAddress
+from repro.packet.headers import (
+    EthernetHeader,
+    Ipv4Header,
+)
+from repro.rmt.action import Action, ActionContext, ActionError, Register, standard_actions
+from repro.rmt.parser import ParseGraph, default_parse_graph
+from repro.rmt.phv import Phv
+from repro.rmt.table import MatchKey, Table
+
+
+@dataclass
+class Stage:
+    """One pipeline stage holding a single match+action table.
+
+    Real RMT stages can hold several small tables; modelling one table per
+    stage keeps the latency accounting simple (stage count == table count)
+    without losing expressiveness -- a program needing two tables in one
+    stage just declares two stages.
+    """
+
+    table: Table
+    #: Optional guard: only run this stage when the PHV field is valid.
+    requires: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+
+class RmtProgram:
+    """A complete pipeline program (parser + stages + actions + registers)."""
+
+    def __init__(
+        self,
+        name: str = "program",
+        parse_graph: Optional[ParseGraph] = None,
+    ):
+        self.name = name
+        self.parse_graph = parse_graph if parse_graph is not None else default_parse_graph()
+        self.stages: List[Stage] = []
+        self.actions: Dict[str, Action] = standard_actions()
+        self.registers: Dict[str, Register] = {}
+
+    # -- program construction -------------------------------------------
+
+    def add_stage(self, table: Table, requires: Optional[str] = None) -> Table:
+        """Append a stage holding ``table``; returns the table for chaining."""
+        self.stages.append(Stage(table, requires))
+        return table
+
+    def add_table(
+        self,
+        name: str,
+        keys: Sequence[MatchKey],
+        default_action: str = "no_op",
+        default_params: Optional[Dict[str, Any]] = None,
+        requires: Optional[str] = None,
+    ) -> Table:
+        """Create a table and append it as a new stage."""
+        table = Table(name, keys, default_action, default_params)
+        return self.add_stage(table, requires)
+
+    def add_action(self, name: str, fn: Action) -> None:
+        if name in self.actions:
+            raise ActionError(f"action {name!r} already registered")
+        self.actions[name] = fn
+
+    def add_register(self, name: str, size: int, initial: int = 0) -> Register:
+        if name in self.registers:
+            raise ActionError(f"register {name!r} already declared")
+        register = Register(name, size, initial)
+        self.registers[name] = register
+        return register
+
+    def table(self, name: str) -> Table:
+        for stage in self.stages:
+            if stage.table.name == name:
+                return stage.table
+        raise KeyError(f"program {self.name!r} has no table {name!r}")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+
+class RmtPipeline:
+    """Executes an :class:`RmtProgram` over packets (pure, untimed)."""
+
+    def __init__(self, program: RmtProgram):
+        self.program = program
+        self._ctx = ActionContext(registers=program.registers)
+        self.packets_processed = 0
+
+    def process(
+        self,
+        data: bytes,
+        metadata: Optional[Dict[str, Any]] = None,
+        now_ps: int = 0,
+    ) -> Phv:
+        """Parse ``data``, run every stage, return the final PHV.
+
+        ``metadata`` seeds ``meta.*`` fields (ingress port, direction...)
+        before parsing, mirroring intrinsic metadata in P4.
+        """
+        phv = Phv()
+        if metadata:
+            for key, value in metadata.items():
+                phv.set(f"meta.{key}", value)
+        self.program.parse_graph.parse(data, phv)
+        self._ctx.now_ps = now_ps
+        for stage in self.program.stages:
+            if stage.requires is not None and not phv.is_valid(stage.requires):
+                continue
+            action_name, params, _hit = stage.table.lookup(phv)
+            action = self.program.actions.get(action_name)
+            if action is None:
+                raise ActionError(
+                    f"table {stage.table.name!r} selected unknown action "
+                    f"{action_name!r}"
+                )
+            action(phv, self._ctx, **params)
+            if phv.get_or("meta.drop", 0):
+                break
+        self.packets_processed += 1
+        return phv
+
+    # ------------------------------------------------------------------
+    # Deparser
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def deparse(phv: Phv, original: bytes) -> bytes:
+        """Rebuild the frame bytes after actions modified header fields.
+
+        Only Ethernet and IPv4 fields are rewritable by the reference
+        programs (TTL, DSCP, addresses); everything beyond the IPv4 header
+        is carried through unchanged.  When no L2/L3 fields are valid, the
+        original bytes pass through untouched.
+        """
+        if not phv.header_valid("eth"):
+            return original
+        eth = EthernetHeader(
+            MacAddress(int(phv.get("eth.dst"))),
+            MacAddress(int(phv.get("eth.src"))),
+            int(phv.get("eth.type")),
+        )
+        out = eth.pack()
+        rest = original[EthernetHeader.LENGTH :]
+        if phv.header_valid("ipv4"):
+            ipv4 = Ipv4Header(
+                src=IPv4Address(int(phv.get("ipv4.src"))),
+                dst=IPv4Address(int(phv.get("ipv4.dst"))),
+                protocol=int(phv.get("ipv4.proto")),
+                total_length=int(phv.get("ipv4.len")),
+                ttl=int(phv.get("ipv4.ttl")),
+                dscp=int(phv.get("ipv4.dscp")),
+                ecn=int(phv.get_or("ipv4.ecn", 0)),
+                identification=int(phv.get("ipv4.id")),
+            )
+            out += ipv4.pack()
+            rest = rest[Ipv4Header.LENGTH :]
+        return out + rest

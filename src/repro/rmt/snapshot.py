@@ -1,0 +1,143 @@
+"""Control-plane snapshots: export/import RMT table state as JSON.
+
+Operations tooling for the programmable switch: dump every table's
+entries (with hit counts) for inspection, diff two control-plane states,
+and restore a saved configuration into a freshly built program -- the
+moral equivalent of `p4runtime` read/write on a real RMT target.
+
+Only JSON-representable patterns survive a round trip: ints, tuples
+(serialized as lists) and bytes (hex-encoded with a tag).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.rmt.pipeline import RmtProgram
+from repro.rmt.table import Table, TableError
+
+
+class SnapshotError(ValueError):
+    """Raised when a snapshot cannot be encoded or applied."""
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int) or isinstance(value, float) or isinstance(value, str):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (tuple, list)):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, dict):
+        return {k: _encode_value(v) for k, v in value.items()}
+    raise SnapshotError(f"cannot snapshot value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__bytes__" in value:
+            return bytes.fromhex(value["__bytes__"])
+        if "__tuple__" in value:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def export_table(table: Table) -> Dict[str, Any]:
+    """One table's entries as a JSON-safe dict."""
+    entries: List[Dict[str, Any]] = []
+    for entry in list(table._exact_index.values()) + list(table._scan_entries):
+        entries.append({
+            "patterns": [_encode_value(p) for p in entry.patterns],
+            "action": entry.action,
+            "params": _encode_value(entry.params),
+            "priority": entry.priority,
+            "hits": entry.hits,
+        })
+    return {
+        "name": table.name,
+        "keys": [
+            {"field": key.field, "kind": key.kind.value} for key in table.keys
+        ],
+        "default_action": table.default_action,
+        "entries": entries,
+    }
+
+
+def export_program(program: RmtProgram) -> str:
+    """The whole program's control-plane state, as a JSON string."""
+    payload = {
+        "program": program.name,
+        "tables": [export_table(stage.table) for stage in program.stages],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def import_program(program: RmtProgram, snapshot_json: str,
+                   clear: bool = True) -> int:
+    """Install a snapshot's entries into ``program``'s tables.
+
+    Tables are matched by name; tables in the snapshot that the program
+    lacks raise.  Returns the number of entries installed.  ``clear``
+    wipes each named table first (restore semantics); pass False to
+    merge.
+    """
+    try:
+        payload = json.loads(snapshot_json)
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"malformed snapshot JSON: {exc}") from exc
+    installed = 0
+    for table_dump in payload.get("tables", []):
+        name = table_dump["name"]
+        try:
+            table = program.table(name)
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot references table {name!r} absent from program "
+                f"{program.name!r}"
+            ) from None
+        if clear:
+            table.clear()
+        for entry in table_dump.get("entries", []):
+            patterns = [_decode_value(p) for p in entry["patterns"]]
+            params = _decode_value(entry.get("params", {}))
+            table.add(patterns, entry["action"], params,
+                      priority=entry.get("priority", 0))
+            installed += 1
+    return installed
+
+
+def diff_programs(a_json: str, b_json: str) -> Dict[str, Dict[str, int]]:
+    """Entry-count diff between two snapshots (per table).
+
+    Returns ``{table: {"only_a": n, "only_b": m, "common": k}}`` keyed by
+    (patterns, action) identity.
+    """
+    def index(dump_json: str) -> Dict[str, set]:
+        payload = json.loads(dump_json)
+        out: Dict[str, set] = {}
+        for table_dump in payload.get("tables", []):
+            keys = set()
+            for entry in table_dump.get("entries", []):
+                keys.add(json.dumps(
+                    [entry["patterns"], entry["action"]], sort_keys=True
+                ))
+            out[table_dump["name"]] = keys
+        return out
+
+    index_a, index_b = index(a_json), index(b_json)
+    result: Dict[str, Dict[str, int]] = {}
+    for name in sorted(set(index_a) | set(index_b)):
+        entries_a = index_a.get(name, set())
+        entries_b = index_b.get(name, set())
+        result[name] = {
+            "only_a": len(entries_a - entries_b),
+            "only_b": len(entries_b - entries_a),
+            "common": len(entries_a & entries_b),
+        }
+    return result

@@ -1,0 +1,208 @@
+"""Match tables: exact, ternary, longest-prefix and range matching.
+
+A :class:`Table` is a list of entries over a composite key built from PHV
+fields.  Exact entries are indexed in a dict for O(1) lookup; ternary /
+LPM / range entries fall back to priority order, exactly like a TCAM with
+entry priorities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.rmt.phv import Phv, PhvError
+
+
+class TableError(ValueError):
+    """Raised for malformed table programming."""
+
+
+class MatchKind(enum.Enum):
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+    RANGE = "range"
+
+
+@dataclass(frozen=True)
+class MatchKey:
+    """One component of a table's composite key."""
+
+    field: str
+    kind: MatchKind = MatchKind.EXACT
+
+
+def ternary_match(value: int, mask: int) -> Tuple[int, int]:
+    """Helper making ternary patterns explicit at call sites."""
+    return (value & mask, mask)
+
+
+@dataclass
+class TableEntry:
+    """One table entry: per-key patterns, action name, action arguments.
+
+    Pattern forms by match kind:
+
+    * EXACT   -- the value itself (int or bytes)
+    * TERNARY -- ``(value, mask)``
+    * LPM     -- ``(prefix, prefix_len)`` over a 32-bit field
+    * RANGE   -- ``(low, high)`` inclusive
+    """
+
+    patterns: Tuple[Any, ...]
+    action: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    #: Hit counter, mirroring P4 direct counters.
+    hits: int = 0
+
+
+class Table:
+    """A match+action table."""
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[MatchKey],
+        default_action: str = "no_op",
+        default_params: Optional[Dict[str, Any]] = None,
+        max_entries: int = 65536,
+    ):
+        if not keys:
+            raise TableError(f"table {name!r} needs at least one match key")
+        self.name = name
+        self.keys = tuple(keys)
+        self.default_action = default_action
+        self.default_params = dict(default_params or {})
+        self.max_entries = max_entries
+        self._exact_index: Dict[Tuple[Any, ...], TableEntry] = {}
+        self._scan_entries: List[TableEntry] = []
+        self._all_exact = all(k.kind == MatchKind.EXACT for k in self.keys)
+
+    # ------------------------------------------------------------------
+    # Programming interface (the "control plane")
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._exact_index) + len(self._scan_entries)
+
+    def add(
+        self,
+        patterns: Sequence[Any],
+        action: str,
+        params: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> TableEntry:
+        """Install an entry; returns it (useful for reading hit counts)."""
+        if len(patterns) != len(self.keys):
+            raise TableError(
+                f"table {self.name!r}: entry has {len(patterns)} patterns "
+                f"for {len(self.keys)} keys"
+            )
+        if self.size >= self.max_entries:
+            raise TableError(f"table {self.name!r} is full ({self.max_entries})")
+        self._validate_patterns(patterns)
+        entry = TableEntry(tuple(patterns), action, dict(params or {}), priority)
+        if self._all_exact:
+            key = tuple(patterns)
+            if key in self._exact_index:
+                raise TableError(f"table {self.name!r}: duplicate exact entry {key}")
+            self._exact_index[key] = entry
+        else:
+            self._scan_entries.append(entry)
+            # Highest priority first; stable for equal priorities.
+            self._scan_entries.sort(key=lambda e: -e.priority)
+        return entry
+
+    def remove(self, patterns: Sequence[Any]) -> None:
+        key = tuple(patterns)
+        if self._all_exact:
+            if key not in self._exact_index:
+                raise TableError(f"table {self.name!r}: no entry {key}")
+            del self._exact_index[key]
+            return
+        for i, entry in enumerate(self._scan_entries):
+            if entry.patterns == key:
+                del self._scan_entries[i]
+                return
+        raise TableError(f"table {self.name!r}: no entry {key}")
+
+    def clear(self) -> None:
+        self._exact_index.clear()
+        self._scan_entries.clear()
+
+    def _validate_patterns(self, patterns: Sequence[Any]) -> None:
+        for key, pattern in zip(self.keys, patterns):
+            if key.kind == MatchKind.EXACT:
+                if not isinstance(pattern, (int, bytes)):
+                    raise TableError(
+                        f"table {self.name!r}: exact pattern for {key.field} "
+                        f"must be int or bytes"
+                    )
+            elif key.kind in (MatchKind.TERNARY, MatchKind.LPM, MatchKind.RANGE):
+                if not (isinstance(pattern, tuple) and len(pattern) == 2):
+                    raise TableError(
+                        f"table {self.name!r}: {key.kind.value} pattern for "
+                        f"{key.field} must be a 2-tuple"
+                    )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def lookup(self, phv: Phv) -> Tuple[str, Dict[str, Any], bool]:
+        """Match the PHV; returns ``(action, params, hit)``.
+
+        A PHV missing any key field is a miss (invalid headers cannot
+        match), which falls through to the default action.
+        """
+        try:
+            values = tuple(phv.get(key.field) for key in self.keys)
+        except PhvError:
+            return self.default_action, dict(self.default_params), False
+
+        if self._all_exact:
+            entry = self._exact_index.get(values)
+            if entry is not None:
+                entry.hits += 1
+                return entry.action, dict(entry.params), True
+            return self.default_action, dict(self.default_params), False
+
+        for entry in self._scan_entries:
+            if self._entry_matches(entry, values):
+                entry.hits += 1
+                return entry.action, dict(entry.params), True
+        return self.default_action, dict(self.default_params), False
+
+    def _entry_matches(self, entry: TableEntry, values: Tuple[Any, ...]) -> bool:
+        for key, pattern, value in zip(self.keys, entry.patterns, values):
+            if key.kind == MatchKind.EXACT:
+                if value != pattern:
+                    return False
+            elif key.kind == MatchKind.TERNARY:
+                want, mask = pattern
+                if not isinstance(value, int):
+                    return False
+                if (value & mask) != (want & mask):
+                    return False
+            elif key.kind == MatchKind.LPM:
+                prefix, prefix_len = pattern
+                if not isinstance(value, int):
+                    return False
+                if prefix_len == 0:
+                    continue
+                mask = ((1 << prefix_len) - 1) << (32 - prefix_len)
+                if (value & mask) != (prefix & mask):
+                    return False
+            elif key.kind == MatchKind.RANGE:
+                low, high = pattern
+                if not isinstance(value, int) or not low <= value <= high:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        kinds = "/".join(k.kind.value for k in self.keys)
+        return f"Table({self.name!r}, keys={kinds}, entries={self.size})"

@@ -1,0 +1,196 @@
+"""The event-driven simulation kernel.
+
+A :class:`Simulator` owns an event heap.  Everything in the library --
+routers, links, RMT stages, offload engines, workload generators, hosts --
+is a :class:`Component` registered with one simulator, scheduling callbacks
+at future picosecond timestamps.
+
+Determinism: events that share a timestamp fire in scheduling order (a
+monotonic sequence number breaks ties), so a run with a fixed RNG seed is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.clock import format_time
+
+
+class SimError(RuntimeError):
+    """Raised for kernel misuse (time travel, running a finished sim, ...)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` and may be
+    cancelled; a cancelled event stays in the heap but is skipped when
+    popped (lazy deletion).
+    """
+
+    __slots__ = ("when", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, when: int, seq: int, fn: Callable[..., None], args: tuple):
+        self.when = when
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(@{format_time(self.when)} {name}{state})"
+
+
+class Simulator:
+    """Discrete-event simulator with integer picosecond time."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._components: Dict[str, "Component"] = {}
+        self._events_fired: int = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Component registry
+    # ------------------------------------------------------------------
+
+    def register(self, component: "Component") -> None:
+        """Register a component under its (unique) name."""
+        name = component.name
+        if name in self._components:
+            raise SimError(f"duplicate component name: {name!r}")
+        self._components[name] = component
+
+    def component(self, name: str) -> "Component":
+        """Look up a registered component by name."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SimError(f"no component named {name!r}") from None
+
+    @property
+    def components(self) -> Dict[str, "Component"]:
+        """Mapping of all registered components by name (read-only view)."""
+        return dict(self._components)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ps`` picoseconds from now."""
+        if delay_ps < 0:
+            raise SimError(f"cannot schedule in the past (delay {delay_ps} ps)")
+        return self.schedule_at(self.now + int(delay_ps), fn, *args)
+
+    def schedule_at(self, when_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute timestamp."""
+        if when_ps < self.now:
+            raise SimError(
+                f"cannot schedule at {when_ps} ps; current time is {self.now} ps"
+            )
+        event = Event(int(when_ps), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.when < self.now:
+                raise SimError("event heap corrupted: time went backwards")
+            self.now = event.when
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until_ps: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run until the heap drains, ``until_ps`` is reached, or
+        ``max_events`` more events have fired.
+
+        Returns the number of events fired by this call.  When ``until_ps``
+        is given, simulated time is advanced to exactly ``until_ps`` even if
+        the heap drains earlier, so back-to-back ``run`` calls see a
+        consistent clock.
+        """
+        fired = 0
+        while self._heap:
+            if max_events is not None and fired >= max_events:
+                break
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ps is not None and head.when > until_ps:
+                break
+            if self.step():
+                fired += 1
+        if until_ps is not None and self.now < until_ps:
+            self.now = until_ps
+        return fired
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={format_time(self.now)}, "
+            f"pending={self.pending_events}, fired={self._events_fired})"
+        )
+
+
+class Component:
+    """Base class for everything that lives inside a simulation.
+
+    Subclasses get a back-reference to the simulator (``self.sim``), a unique
+    ``name``, and convenience wrappers around scheduling.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        sim.register(self)
+
+    def schedule(self, delay_ps: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule a callback relative to the current simulated time."""
+        return self.sim.schedule(delay_ps, fn, *args)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self.sim.now
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

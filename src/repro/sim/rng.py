@@ -1,0 +1,95 @@
+"""Deterministic random number generation for reproducible experiments.
+
+Every stochastic component takes a :class:`SeededRng` (or a seed) rather
+than touching the global ``random`` module, so that two runs with the same
+configuration produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A thin wrapper over :class:`random.Random` with domain helpers."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, salt: str) -> "SeededRng":
+        """Derive an independent stream (e.g. one per traffic source)."""
+        return SeededRng(hash((self.seed, salt)) & 0x7FFF_FFFF_FFFF_FFFF)
+
+    # -- primitive draws -------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: List[T]) -> None:
+        self._rng.shuffle(items)
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.randbytes(n)
+
+    # -- distributions used by workloads ---------------------------------
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival draw with the given mean (> 0)."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        return self._rng.expovariate(1.0 / mean)
+
+    def zipf_index(self, n: int, alpha: float = 0.99) -> int:
+        """Draw an index in [0, n) with Zipf(alpha) popularity.
+
+        Uses inverse-CDF over the precomputed harmonic weights; the CDF is
+        cached per (n, alpha) because KVS workloads draw millions of keys.
+        """
+        if n <= 0:
+            raise ValueError(f"zipf support size must be positive, got {n}")
+        cdf = self._zipf_cdf(n, alpha)
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    _zipf_cache: dict = {}
+
+    @classmethod
+    def _zipf_cdf(cls, n: int, alpha: float) -> List[float]:
+        key = (n, alpha)
+        cached = cls._zipf_cache.get(key)
+        if cached is not None:
+            return cached
+        weights = [1.0 / (i + 1) ** alpha for i in range(n)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        cls._zipf_cache[key] = cdf
+        return cdf
+
+    def __repr__(self) -> str:
+        return f"SeededRng(seed={self.seed})"

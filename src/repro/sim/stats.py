@@ -1,0 +1,208 @@
+"""Statistics primitives: counters, histograms, latency and rate trackers.
+
+These are plain accumulators -- they do not interact with the event heap --
+so they can also be used outside a simulation (e.g. by the analytical
+models and the benchmark reporting code).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.clock import SEC
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter"):
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be non-negative: {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Streaming histogram with exact quantiles.
+
+    Samples are kept (as a list) and sorted lazily on query.  For the scales
+    this library runs at (at most a few million samples per experiment) this
+    is simpler and more accurate than approximate sketches.
+    """
+
+    def __init__(self, name: str = "histogram"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def record_many(self, values: Iterable[float]) -> None:
+        self._samples.extend(values)
+        self._sorted = False
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return max(self._samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self._samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((s - mu) ** 2 for s in self._samples) / (len(self._samples) - 1)
+        return math.sqrt(var)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile via linear interpolation (pct in [0, 100])."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (pct / 100) * (len(self._samples) - 1)
+        low = int(rank)
+        frac = rank - low
+        if low + 1 >= len(self._samples):
+            return self._samples[-1]
+        base = self._samples[low]
+        # a + frac*(b-a) is exact when a == b (a*(1-f) + b*f is not).
+        return base + frac * (self._samples[low + 1] - base)
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def cdf(self, value: float) -> float:
+        """Fraction of samples <= value."""
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        self._ensure_sorted()
+        return bisect_right(self._samples, value) / len(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """Return a dict of the usual summary statistics."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        if not self._samples:
+            return f"Histogram({self.name}, empty)"
+        return (
+            f"Histogram({self.name}, n={self.count}, mean={self.mean:.3g}, "
+            f"p99={self.p99:.3g})"
+        )
+
+
+class LatencyTracker(Histogram):
+    """Histogram specialised for picosecond latencies.
+
+    ``observe(start_ps, end_ps)`` records ``end - start`` and validates the
+    interval; summary helpers convert to nanoseconds for readability.
+    """
+
+    def observe(self, start_ps: int, end_ps: int) -> None:
+        if end_ps < start_ps:
+            raise ValueError(
+                f"latency interval ends before it starts ({start_ps} > {end_ps})"
+            )
+        self.record(end_ps - start_ps)
+
+    def mean_ns(self) -> float:
+        return self.mean / 1_000
+
+    def percentile_ns(self, pct: float) -> float:
+        return self.percentile(pct) / 1_000
+
+
+class RateMeter:
+    """Tracks an event rate (e.g. packets or bits per second).
+
+    ``record(now_ps, amount)`` accumulates; ``rate_per_sec(now_ps)`` divides
+    by elapsed simulated time since the meter was started (or reset).
+    """
+
+    def __init__(self, name: str = "rate", start_ps: int = 0):
+        self.name = name
+        self.start_ps = start_ps
+        self.total = 0.0
+        self.last_ps: Optional[int] = None
+
+    def record(self, now_ps: int, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"rate meter amount must be non-negative: {amount}")
+        self.total += amount
+        self.last_ps = now_ps
+
+    def rate_per_sec(self, now_ps: Optional[int] = None) -> float:
+        """Average rate between start and ``now_ps`` (or the last sample)."""
+        end = now_ps if now_ps is not None else self.last_ps
+        if end is None or end <= self.start_ps:
+            return 0.0
+        return self.total * SEC / (end - self.start_ps)
+
+    def reset(self, now_ps: int) -> None:
+        self.start_ps = now_ps
+        self.total = 0.0
+        self.last_ps = None
+
+    def __repr__(self) -> str:
+        return f"RateMeter({self.name}, total={self.total})"

@@ -1,0 +1,38 @@
+"""Workload generation: traffic sources, the multi-tenant KVS, DoS floods.
+
+These drive every experiment.  Sources inject byte-accurate frames into a
+NIC (PANIC or a baseline) through its ``inject`` method; observers parse
+egress frames and collect per-tenant latency/throughput statistics.
+"""
+
+from repro.workloads.generator import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+    simple_udp_factory,
+)
+from repro.workloads.kvs import (
+    KvsClient,
+    KvsWorkload,
+    TenantSpec,
+)
+from repro.workloads.dos import DosFlood
+from repro.workloads.traces import TraceRecorder, TraceReplayer, TraceRecord
+from repro.workloads.wire import Wire
+
+__all__ = [
+    "CbrSource",
+    "DosFlood",
+    "KvsClient",
+    "KvsWorkload",
+    "OnOffSource",
+    "PoissonSource",
+    "TenantSpec",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "TrafficSource",
+    "Wire",
+    "simple_udp_factory",
+]

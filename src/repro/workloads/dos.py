@@ -1,0 +1,72 @@
+"""DoS flood traffic, for the memory-pressure / lossy-drop experiments.
+
+Section 6 asks how to drop "packets from a DOS attack" while protecting
+lossless internal messages.  The flood generates high-rate junk UDP
+marked droppable (via a dedicated DSCP the RMT program maps to the
+droppable flag and worst-case slack), so PANIC's schedulers shed it
+first under pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.packet.builder import build_udp_frame
+from repro.packet.packet import Packet
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.workloads.generator import PoissonSource
+
+#: The DSCP value reference programs treat as "attack-class, droppable".
+DOS_DSCP = 63
+
+
+class DosFlood:
+    """A high-rate junk-UDP source aimed at one NIC port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inject: Callable[[Packet], int],
+        rate_pps: float,
+        payload_bytes: int = 64,
+        seed: int = 666,
+        count: Optional[int] = None,
+        stop_ps: Optional[int] = None,
+        name: str = "dos",
+    ):
+        self.rng = SeededRng(seed)
+        self.payload_bytes = payload_bytes
+        self.source = PoissonSource(
+            sim,
+            f"{name}.src",
+            inject,
+            self._make_packet,
+            rate_pps=rate_pps,
+            rng=self.rng.fork("arrivals"),
+            count=count,
+            stop_ps=stop_ps,
+        )
+
+    def start(self, at_ps: int = 0) -> None:
+        self.source.start(at_ps)
+
+    @property
+    def injected(self) -> int:
+        return self.source.injected.value
+
+    def _make_packet(self, seq: int) -> Packet:
+        frame = build_udp_frame(
+            src_mac="02:66:00:00:00:01",
+            dst_mac="02:00:00:00:00:02",
+            src_ip=f"198.51.{seq % 256}.{(seq * 7) % 256}",  # spoofed
+            dst_ip="10.0.0.2",
+            src_port=1024 + (seq % 60000),
+            dst_port=80,
+            payload=self.rng.bytes(self.payload_bytes),
+            dscp=DOS_DSCP,
+            identification=seq & 0xFFFF,
+        )
+        packet = Packet(frame)
+        packet.meta.annotations["dos"] = True
+        return packet

@@ -1,0 +1,88 @@
+"""A point-to-point external wire connecting two NICs.
+
+Lets experiments build the full picture the paper's introduction sketches
+-- clients talking to a PANIC-equipped server across a network -- by
+cabling the TX side of one NIC to the RX side of another, with a
+configurable one-way propagation delay (rack-local ~500 ns, cross-DC
+~micro/milliseconds for the WAN tenants of section 2.2).
+
+Both ends expose the common NIC surface this library uses everywhere
+(``on_transmit`` to observe egress, ``inject`` to offer ingress), so any
+pair of PANIC/baseline NICs can be cabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.packet.packet import Packet, PacketMetadata
+from repro.sim.clock import NS
+from repro.sim.kernel import Component, Simulator
+from repro.sim.stats import Counter
+
+#: Rack-local one-way propagation (a few meters of fibre + PHY).
+DEFAULT_PROPAGATION_PS = 500 * NS
+
+
+class Wire(Component):
+    """A full-duplex cable between two NICs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic_a,
+        nic_b,
+        name: str = "wire",
+        propagation_ps: int = DEFAULT_PROPAGATION_PS,
+        port_a: int = 0,
+        port_b: int = 0,
+    ):
+        super().__init__(sim, name)
+        if propagation_ps < 0:
+            raise ValueError(f"{name}: negative propagation delay")
+        self.nic_a = nic_a
+        self.nic_b = nic_b
+        self.propagation_ps = propagation_ps
+        self.port_a = port_a
+        self.port_b = port_b
+        self.a_to_b = Counter(f"{name}.a_to_b")
+        self.b_to_a = Counter(f"{name}.b_to_a")
+        nic_a.on_transmit(self._from_a)
+        nic_b.on_transmit(self._from_b)
+
+    def _refresh(self, packet: Packet) -> Packet:
+        """A frame entering a new NIC is a new packet life: fresh
+        metadata, same bytes."""
+        fresh = Packet(packet.data, packet.kind)
+        fresh.meta.created_ps = self.now
+        fresh.meta.tenant = packet.meta.tenant
+        # Keep cross-NIC correlation for experiments.
+        ctx = packet.meta.annotations.get("request_ctx")
+        if ctx is not None:
+            fresh.meta.annotations["request_ctx"] = ctx
+        e2e = packet.meta.annotations.get("e2e_t0")
+        if e2e is not None:
+            fresh.meta.annotations["e2e_t0"] = e2e
+        return fresh
+
+    def _from_a(self, packet: Packet) -> None:
+        if (packet.meta.egress_port or 0) != self.port_a:
+            return  # a different cable serves that port
+        self.a_to_b.add()
+        self.schedule(
+            self.propagation_ps, self._deliver, self.nic_b, self.port_b,
+            self._refresh(packet),
+        )
+
+    def _from_b(self, packet: Packet) -> None:
+        if (packet.meta.egress_port or 0) != self.port_b:
+            return
+        self.b_to_a.add()
+        self.schedule(
+            self.propagation_ps, self._deliver, self.nic_a, self.port_a,
+            self._refresh(packet),
+        )
+
+    @staticmethod
+    def _deliver(nic, port: int, packet: Packet) -> None:
+        nic.inject(packet, port)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the PANIC reproduction test suite."""
+
+import pytest
+
+from repro.core import PanicConfig, PanicNic
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def nic(sim):
+    """A single-port PANIC NIC with the default offload set."""
+    return PanicNic(sim, PanicConfig(ports=1, mesh_width=4, mesh_height=4))

@@ -1,0 +1,118 @@
+"""Tests for the Table 2 line-rate model, reporting, and Table 1 taxonomy."""
+
+import pytest
+
+from repro.analysis import (
+    format_comparison,
+    format_table,
+    min_frame_pps,
+    required_rmt_pipelines,
+    rmt_pipeline_pps,
+    sustainable_rmt_passes,
+    table2_rows,
+)
+from repro.engines import TABLE1, coverage, table1_rows
+from repro.engines.taxonomy import Beneficiary, Placement, Resource
+from repro.sim.clock import MHZ
+
+
+class TestTable2:
+    def test_rows_match_paper_within_rounding(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        for row in rows:
+            # The paper rounds to pretty numbers; we stay within 1%.
+            assert row.pps_mpps == pytest.approx(row.paper_mpps, rel=0.01)
+
+    def test_exact_values(self):
+        rows = {(r.line_rate_gbps, r.ports): r.pps_mpps for r in table2_rows()}
+        assert rows[(40, 2)] == pytest.approx(238.095, abs=0.01)
+        assert rows[(100, 1)] == pytest.approx(297.619, abs=0.01)
+
+    def test_pps_scales_linearly(self):
+        assert min_frame_pps(80e9, 1) == pytest.approx(2 * min_frame_pps(40e9, 1))
+        assert min_frame_pps(40e9, 4) == pytest.approx(2 * min_frame_pps(40e9, 2))
+
+    def test_single_direction_halves(self):
+        assert min_frame_pps(40e9, 2, directions=1) == pytest.approx(
+            min_frame_pps(40e9, 2) / 2
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            min_frame_pps(0, 1)
+        with pytest.raises(ValueError):
+            min_frame_pps(40e9, 0)
+
+
+class TestSection42Feasibility:
+    def test_two_pipelines_cover_two_port_100g(self):
+        # Section 4.2: two 500 MHz pipelines = 1000 Mpps > 600 Mpps needed.
+        assert rmt_pipeline_pps(500 * MHZ, 2) == 1e9
+        passes = sustainable_rmt_passes(500 * MHZ, 2, 100e9, 2)
+        assert passes > 1.0
+
+    def test_cannot_chain_through_rmt_at_line_rate(self):
+        # The paper's negative result: with per-offload RMT switching
+        # (>= 2 passes/packet) two pipelines cannot hold 2x100G line rate.
+        passes = sustainable_rmt_passes(500 * MHZ, 2, 100e9, 2)
+        assert passes < 2.0
+
+    def test_required_pipelines(self):
+        assert required_rmt_pipelines(100e9, 2, 500 * MHZ) == 2
+        assert required_rmt_pipelines(100e9, 2, 500 * MHZ, passes_per_packet=2) == 3
+        assert required_rmt_pipelines(40e9, 2, 500 * MHZ) == 1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+
+    def test_format_table_arity_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_comparison_marks_best(self):
+        text = format_comparison("latency", {"panic": 1.0, "pipeline": 5.0})
+        assert "panic" in text.splitlines()[2]
+        assert "<-- best" in text.splitlines()[2]
+
+    def test_format_comparison_higher_is_better(self):
+        text = format_comparison(
+            "throughput", {"panic": 5.0, "pipeline": 1.0}, lower_is_better=False
+        )
+        best_line = [l for l in text.splitlines() if "best" in l][0]
+        assert "panic" in best_line
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            format_comparison("x", {})
+
+
+class TestTable1Taxonomy:
+    def test_row_count_matches_paper(self):
+        assert len(TABLE1) == 11  # Emu and RDMA appear twice
+
+    def test_known_rows(self):
+        rows = dict(table1_rows())
+        assert rows["FlexNIC"] == "Application Inline Computation"
+        assert rows["Azure SmartNIC"] == "Infrastructure CPU-bypass Network"
+
+    def test_engine_coverage_spans_all_axes(self):
+        classes = [cls for _name, cls in coverage()]
+        assert classes  # non-empty
+        beneficiaries = {c.split()[0] for c in classes}
+        assert beneficiaries == {"Application", "Infrastructure"}
+        placements = {c.split()[1] for c in classes}
+        assert placements == {"Inline", "CPU-bypass"}
+        resources = {c.split()[2] for c in classes}
+        assert resources == {"Computation", "Memory", "Network"}
+
+    def test_axes_are_enums(self):
+        assert Beneficiary.APPLICATION.value == "Application"
+        assert Placement.CPU_BYPASS.value == "CPU-bypass"
+        assert Resource.MEMORY.value == "Memory"

@@ -1,0 +1,41 @@
+"""Tests for the command-line table generator."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "FlexNIC" in out
+        assert "Azure SmartNIC" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "238.1Mpps" in out
+        assert "595.2Mpps" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "5.60" in out
+        assert "6x6 Mesh" in out
+
+    def test_demo_runs_fast_path(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "served-on-nic" in out
+        assert "host CPU ran   : 0 times" in out
+
+    def test_all(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "served-on-nic"):
+            assert marker in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])

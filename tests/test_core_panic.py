@@ -1,0 +1,240 @@
+"""Integration tests for the assembled PANIC NIC."""
+
+import pytest
+
+from repro.core import HostKvServer, PanicConfig, PanicNic
+from repro.packet import (
+    KvOpcode,
+    KvRequest,
+    KvStatus,
+    Packet,
+    build_kv_request_frame,
+    build_udp_frame,
+    parse_frame,
+)
+from repro.sim import Simulator
+from repro.sim.clock import US
+
+
+def plain_udp(dst_ip="10.0.0.2", payload=b"hello", dscp=0):
+    return Packet(
+        build_udp_frame(
+            src_mac="02:00:00:00:00:01",
+            dst_mac="02:00:00:00:00:02",
+            src_ip="10.0.0.1",
+            dst_ip=dst_ip,
+            src_port=7777,
+            dst_port=8888,
+            payload=payload,
+            dscp=dscp,
+        )
+    )
+
+
+class TestConstruction:
+    def test_engines_placed_and_wired(self, nic):
+        assert set(nic.engines) >= {"eth0", "dma", "pcie", "rmt", "ipsec",
+                                    "compression", "kvcache", "rdma"}
+        for key, engine in nic.engines.items():
+            assert engine.port is not None
+            if key != "rmt":
+                assert engine.lookup_table.default_next == nic.rmt.address
+
+    def test_dma_pcie_cross_wired(self, nic):
+        assert nic.dma.pcie_addr == nic.pcie.address
+        assert nic.pcie.dma_addr == nic.dma.address
+        assert nic.engines["rdma"].dma_addr == nic.dma.address
+        assert nic.host.pcie is nic.pcie
+
+    def test_config_rejects_overfull_mesh(self):
+        with pytest.raises(ValueError):
+            PanicConfig(ports=4, mesh_width=2, mesh_height=2)
+
+    def test_config_rejects_unknown_offload(self):
+        with pytest.raises(ValueError):
+            PanicConfig(offloads=("warp_drive",))
+
+    def test_offload_lookup(self, nic):
+        assert nic.offload("ipsec") is nic.engines["ipsec"]
+        with pytest.raises(KeyError):
+            nic.offload("ghost")
+
+    def test_two_port_nic(self, sim):
+        nic = PanicNic(sim, PanicConfig(ports=2))
+        assert len(nic.ports) == 2
+        assert nic.ports[0].port_index == 0
+        assert nic.ports[1].port_index == 1
+
+
+class TestRxPath:
+    def test_plain_packet_lands_in_host_ring(self, sim, nic):
+        received = []
+        nic.host.software_handler = lambda p, q: received.append((p, q))
+        nic.inject(plain_udp())
+        sim.run()
+        assert len(received) == 1
+        assert nic.host.rx_delivered.value == 1
+
+    def test_rx_packet_traverses_rmt_then_dma(self, sim, nic):
+        packet = plain_udp()
+        nic.inject(packet)
+        sim.run()
+        assert "panic.rmt" in packet.trail
+        assert "panic.dma" in packet.trail
+
+    def test_rx_steering_is_flow_stable(self, sim, nic):
+        packets = [plain_udp() for _ in range(4)]
+        for packet in packets:
+            nic.inject(packet)
+        sim.run()
+        queues = {p.meta.annotations.get("rx_queue") for p in packets}
+        assert len(queues) == 1  # same flow -> same queue
+
+    def test_inject_validates_port(self, nic):
+        with pytest.raises(ValueError):
+            nic.inject(plain_udp(), port=9)
+
+
+class TestKvFastPath:
+    def test_cache_hit_bypasses_cpu(self, sim, nic):
+        nic.control.enable_kv_cache()
+        nic.offload("kvcache").cache_put(b"hot", b"cached!")
+        nic.inject(build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 5, b"hot")))
+        sim.run()
+        assert len(nic.transmitted) == 1
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.value == b"cached!"
+        # CPU bypass: the host never saw the request.
+        assert nic.host.rx_delivered.value == 0
+        assert nic.host.interrupts_taken.value == 0
+
+    def test_cache_miss_served_by_host(self, sim, nic):
+        HostKvServer(nic.host)
+        nic.control.enable_kv_cache()
+        nic.host.store(b"cold", b"from-host")
+        nic.inject(build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 6, b"cold")))
+        sim.run()
+        assert len(nic.transmitted) == 1
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.value == b"from-host"
+        assert nic.host.rx_delivered.value == 1
+
+    def test_get_not_found(self, sim, nic):
+        HostKvServer(nic.host)
+        nic.control.enable_kv_cache()
+        nic.inject(build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 7, b"nope")))
+        sim.run()
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.status == KvStatus.NOT_FOUND
+
+    def test_set_writes_through_hot_key(self, sim, nic):
+        HostKvServer(nic.host)
+        nic.control.enable_kv_cache()
+        cache = nic.offload("kvcache")
+        cache.cache_put(b"hot", b"old")
+        nic.inject(
+            build_kv_request_frame(KvRequest(KvOpcode.SET, 1, 8, b"hot", b"new"))
+        )
+        sim.run()
+        assert cache.cache_get(b"hot") == b"new"
+        assert nic.host.memory[b"hot"] == b"new"  # host got it too
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.status == KvStatus.OK
+
+    def test_rdma_fast_path_reads_host_memory(self, sim, nic):
+        from repro.packet.kv import KvOpcode as Op
+
+        nic.control.route_kv_opcode(Op.GET, ["rdma"], append_dma=False)
+        nic.host.store(b"mem-key", b"dma-read-value")
+        nic.inject(build_kv_request_frame(KvRequest(Op.GET, 2, 9, b"mem-key")))
+        sim.run()
+        assert len(nic.transmitted) == 1
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.value == b"dma-read-value"
+        # RDMA path: DMA read happened, but no interrupt-driven software.
+        assert nic.host.mem_reads.value >= 1
+        assert nic.host.interrupts_taken.value == 0
+
+
+class TestIpsecPath:
+    def test_encrypted_request_decrypted_then_served(self, sim, nic):
+        nic.control.enable_kv_cache()
+        nic.control.enable_ipsec_rx()
+        ipsec = nic.offload("ipsec")
+        from repro.engines import IpsecSa
+
+        ipsec.install_sa(
+            IpsecSa(spi=0x77, key=b"wan", tunnel_src="8.8.8.8",
+                    tunnel_dst="9.9.9.9")
+        )
+        nic.offload("kvcache").cache_put(b"wan-key", b"wan-value")
+        request = build_kv_request_frame(KvRequest(KvOpcode.GET, 3, 11, b"wan-key"))
+        encrypted = ipsec.encrypt(request, 0x77)
+        nic.inject(encrypted)
+        sim.run()
+        assert ipsec.decrypted.value == 1
+        response = parse_frame(nic.transmitted[0].data).kv_response()
+        assert response.value == b"wan-value"
+        # Two heavyweight passes: encrypted, then decrypted (section 3.1.2),
+        # plus one for the response.
+        assert nic.rmt.processed.value == 3
+
+    def test_tx_encryption_for_wan_subnet(self, sim, nic):
+        from repro.engines import IpsecSa
+
+        nic.control.enable_kv_cache()
+        ipsec = nic.offload("ipsec")
+        ipsec.install_sa(
+            IpsecSa(spi=0x88, key=b"tx", tunnel_src="1.2.3.4",
+                    tunnel_dst="5.6.7.8")
+        )
+        # Responses to 10.77/16 clients must leave encrypted.
+        nic.control.encrypt_subnet(0x0A4D0000, 16, spi=0x88)
+        nic.offload("kvcache").cache_put(b"k", b"v")
+        request = build_kv_request_frame(
+            KvRequest(KvOpcode.GET, 4, 12, b"k"), src_ip="10.77.0.9"
+        )
+        nic.inject(request)
+        sim.run()
+        assert ipsec.encrypted.value == 1
+        out = parse_frame(nic.transmitted[0].data)
+        assert out.esp is not None  # left the NIC as ESP
+
+
+class TestSlackProgramming:
+    def test_tenant_slack_stamped_on_chain_header(self, sim, nic):
+        nic.control.enable_kv_cache()
+        nic.control.set_tenant_slack(5, 123 * US)
+        packet = build_kv_request_frame(KvRequest(KvOpcode.GET, 5, 13, b"x"))
+        nic.inject(packet)
+        sim.run()
+        assert packet.panic is not None
+        # Deadline = pipeline-exit time + slack; bounded by injection+slack.
+        assert packet.panic.slack_ps >= 123 * US
+
+    def test_dscp_slack_for_non_kv(self, sim, nic):
+        nic.control.set_dscp_slack(7, 55 * US)
+        packet = plain_udp(dscp=7)
+        nic.inject(packet)
+        sim.run()
+        assert packet.panic is not None
+        assert packet.panic.slack_ps >= 55 * US
+
+
+class TestStats:
+    def test_stats_shape(self, sim, nic):
+        nic.inject(plain_udp())
+        sim.run()
+        stats = nic.stats()
+        assert stats["rmt"]["processed"] == 1
+        assert stats["host"]["rx_delivered"] == 1
+        assert "nic" in stats
+
+    def test_transmit_callback(self, sim, nic):
+        seen = []
+        nic.on_transmit(seen.append)
+        nic.control.enable_kv_cache()
+        nic.offload("kvcache").cache_put(b"k", b"v")
+        nic.inject(build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 14, b"k")))
+        sim.run()
+        assert len(seen) == 1

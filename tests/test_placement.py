@@ -1,0 +1,145 @@
+"""Tests for the engine-placement optimizer (the section 6 extension)."""
+
+import pytest
+
+from repro.core import PanicConfig, PanicNic
+from repro.noc.placement import (
+    annealed_placement,
+    expected_hops,
+    greedy_placement,
+    manhattan,
+    reference_traffic,
+)
+from repro.sim import Simulator
+
+
+class TestObjective:
+    def test_manhattan(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((2, 2), (2, 2)) == 0
+
+    def test_expected_hops_weighted(self):
+        placement = {"a": (0, 0), "b": (3, 0), "c": (0, 1)}
+        traffic = {("a", "b"): 1.0, ("a", "c"): 3.0}
+        # (1*3 + 3*1) / 4 = 1.5
+        assert expected_hops(placement, traffic) == 1.5
+
+    def test_expected_hops_empty_traffic(self):
+        assert expected_hops({"a": (0, 0)}, {}) == 0.0
+
+    def test_unplaced_engine_rejected(self):
+        with pytest.raises(KeyError):
+            expected_hops({"a": (0, 0)}, {("a", "ghost"): 1.0})
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            expected_hops({"a": (0, 0), "b": (1, 0)}, {("a", "b"): -1.0})
+
+
+class TestGreedy:
+    def test_places_everything_uniquely(self):
+        engines = [f"e{i}" for i in range(9)]
+        traffic = {(f"e{i}", f"e{i+1}"): 1.0 for i in range(8)}
+        placement = greedy_placement(engines, traffic, 3, 3)
+        assert set(placement) == set(engines)
+        assert len(set(placement.values())) == 9
+
+    def test_heavy_pair_adjacent(self):
+        engines = ["hot_a", "hot_b", "cold_c", "cold_d"]
+        traffic = {("hot_a", "hot_b"): 100.0, ("cold_c", "cold_d"): 0.01}
+        placement = greedy_placement(engines, traffic, 4, 4)
+        assert manhattan(placement["hot_a"], placement["hot_b"]) == 1
+
+    def test_fixed_placements_honoured(self):
+        engines = ["eth0", "rmt", "dma"]
+        fixed = {"eth0": (0, 0), "dma": (3, 0)}
+        traffic = {("eth0", "rmt"): 1.0, ("rmt", "dma"): 1.0}
+        placement = greedy_placement(engines, traffic, 4, 4, fixed=fixed)
+        assert placement["eth0"] == (0, 0)
+        assert placement["dma"] == (3, 0)
+        # rmt lands between its two fixed peers.
+        assert expected_hops(placement, traffic) <= 2.0
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_placement(["a", "b", "c"], {}, 1, 2)
+
+    def test_colliding_fixed_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_placement(["a", "b"], {}, 2, 2,
+                             fixed={"a": (0, 0), "b": (0, 0)})
+
+    def test_fixed_outside_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_placement(["a"], {}, 2, 2, fixed={"a": (5, 5)})
+
+
+class TestAnnealing:
+    def _setup(self):
+        engines = [f"e{i}" for i in range(12)]
+        traffic = {}
+        # A ring of heavy neighbours plus random light pairs.
+        for i in range(12):
+            traffic[(f"e{i}", f"e{(i + 1) % 12}")] = 10.0
+        traffic[("e0", "e6")] = 1.0
+        return engines, traffic
+
+    def test_at_least_as_good_as_greedy(self):
+        engines, traffic = self._setup()
+        greedy = greedy_placement(engines, traffic, 4, 4)
+        annealed = annealed_placement(engines, traffic, 4, 4, seed=1,
+                                      iterations=2000)
+        assert (expected_hops(annealed, traffic)
+                <= expected_hops(greedy, traffic) + 1e-9)
+
+    def test_deterministic_for_seed(self):
+        engines, traffic = self._setup()
+        a = annealed_placement(engines, traffic, 4, 4, seed=7, iterations=500)
+        b = annealed_placement(engines, traffic, 4, 4, seed=7, iterations=500)
+        assert a == b
+
+    def test_fixed_tiles_never_move(self):
+        engines, traffic = self._setup()
+        fixed = {"e0": (0, 0), "e1": (3, 3)}
+        placement = annealed_placement(engines, traffic, 4, 4, fixed=fixed,
+                                       seed=3, iterations=500)
+        assert placement["e0"] == (0, 0)
+        assert placement["e1"] == (3, 3)
+
+
+class TestReferenceTraffic:
+    def test_covers_reference_engines(self):
+        traffic = reference_traffic(["kvcache", "ipsec"], ports=2)
+        names = {n for pair in traffic for n in pair}
+        assert names >= {"eth0", "eth1", "rmt", "dma", "pcie",
+                         "kvcache", "ipsec"}
+
+    def test_weights_positive(self):
+        traffic = reference_traffic(["kvcache"], cache_hit_rate=0.3)
+        assert all(w >= 0 for w in traffic.values())
+
+
+class TestNicPlacementOverride:
+    def test_override_moves_engine(self, sim):
+        config = PanicConfig(ports=1, placement={"kvcache": (2, 3)})
+        nic = PanicNic(sim, config)
+        assert nic.mesh.coords_of(nic.offload("kvcache").address) == (2, 3)
+
+    def test_optimized_placement_builds_working_nic(self):
+        from repro.packet import KvOpcode, KvRequest, build_kv_request_frame
+
+        offloads = ("ipsec", "compression", "kvcache", "rdma")
+        engines = ["eth0", "rmt", "dma", "pcie", *offloads]
+        fixed = {"eth0": (0, 0), "dma": (3, 0), "pcie": (3, 1)}
+        placement = annealed_placement(
+            engines, reference_traffic(offloads), 4, 4,
+            fixed=fixed, seed=5, iterations=1000,
+        )
+        sim = Simulator()
+        nic = PanicNic(sim, PanicConfig(ports=1, offloads=offloads,
+                                        placement=placement))
+        nic.control.enable_kv_cache()
+        nic.offload("kvcache").cache_put(b"k", b"v")
+        nic.inject(build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 1, b"k")))
+        sim.run()
+        assert len(nic.transmitted) == 1

@@ -1,0 +1,346 @@
+"""Tests for the RMT substrate: PHV, parser, tables, actions, pipeline."""
+
+import pytest
+
+from repro.packet import (
+    KvOpcode,
+    KvRequest,
+    build_kv_request_frame,
+    build_udp_frame,
+    parse_frame,
+)
+from repro.rmt import (
+    ActionContext,
+    ActionError,
+    MatchKey,
+    MatchKind,
+    Phv,
+    PhvError,
+    Register,
+    RmtPipeline,
+    RmtProgram,
+    Table,
+    TableError,
+    default_parse_graph,
+)
+from repro.rmt.action import decode_chain, standard_actions
+
+
+def udp_frame(payload=b"data", dscp=0, dst_ip="10.0.0.2", src_port=1234):
+    return build_udp_frame(
+        src_mac="02:00:00:00:00:01",
+        dst_mac="02:00:00:00:00:02",
+        src_ip="10.0.0.1",
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=9999,
+        payload=payload,
+        dscp=dscp,
+    )
+
+
+class TestPhv:
+    def test_set_get(self):
+        phv = Phv()
+        phv.set("ipv4.ttl", 64)
+        assert phv.get("ipv4.ttl") == 64
+
+    def test_invalid_field_raises(self):
+        with pytest.raises(PhvError):
+            Phv().get("nope")
+
+    def test_get_or_default(self):
+        assert Phv().get_or("x", 7) == 7
+
+    def test_header_validity(self):
+        phv = Phv({"ipv4.src": 1, "ipv4.dst": 2})
+        assert phv.header_valid("ipv4")
+        phv.invalidate_header("ipv4")
+        assert not phv.header_valid("ipv4")
+
+    def test_invalidate_single_field(self):
+        phv = Phv({"a.b": 1})
+        phv.invalidate("a.b")
+        assert not phv.is_valid("a.b")
+        phv.invalidate("a.b")  # idempotent
+
+    def test_type_enforcement(self):
+        with pytest.raises(TypeError):
+            Phv().set("x", 1.5)
+
+    def test_copy_independent(self):
+        phv = Phv({"x": 1})
+        clone = phv.copy()
+        clone.set("x", 2)
+        assert phv.get("x") == 1
+
+
+class TestParser:
+    def test_parses_udp(self):
+        phv = default_parse_graph().parse(udp_frame(dscp=11))
+        assert phv.get("eth.type") == 0x0800
+        assert phv.get("ipv4.dscp") == 11
+        assert phv.get("udp.dst_port") == 9999
+        assert phv.get("meta.payload") == b"data"
+
+    def test_parses_kv(self):
+        packet = build_kv_request_frame(KvRequest(KvOpcode.GET, 5, 9, b"key"))
+        phv = default_parse_graph().parse(packet.data)
+        assert phv.get("kv.opcode") == int(KvOpcode.GET)
+        assert phv.get("kv.tenant") == 5
+        assert phv.get("kv.key") == b"key"
+
+    def test_non_kv_udp_has_no_kv_fields(self):
+        phv = default_parse_graph().parse(udp_frame())
+        assert not phv.is_valid("kv.opcode")
+
+    def test_malformed_packet_sets_parse_error(self):
+        phv = default_parse_graph().parse(b"\x00" * 13)  # truncated L2
+        assert phv.get_or("meta.parse_error", 0) == 1
+
+    def test_mac_padding_trimmed_by_ip_length(self):
+        frame = udp_frame(payload=b"x")
+        padded = frame + bytes(64 - len(frame))
+        phv = default_parse_graph().parse(padded)
+        assert phv.get("meta.payload") == b"x"
+
+
+class TestTable:
+    def test_exact_match(self):
+        table = Table("t", [MatchKey("f")])
+        table.add([5], "hit_action")
+        phv = Phv({"f": 5})
+        assert table.lookup(phv) == ("hit_action", {}, True)
+
+    def test_exact_miss_gets_default(self):
+        table = Table("t", [MatchKey("f")], default_action="dflt",
+                      default_params={"a": 1})
+        assert table.lookup(Phv({"f": 9})) == ("dflt", {"a": 1}, False)
+
+    def test_invalid_field_is_miss(self):
+        table = Table("t", [MatchKey("f")])
+        table.add([5], "x")
+        assert table.lookup(Phv())[2] is False
+
+    def test_ternary_priority(self):
+        table = Table("t", [MatchKey("f", MatchKind.TERNARY)])
+        table.add([(0x10, 0xF0)], "low", priority=1)
+        table.add([(0x12, 0xFF)], "high", priority=10)
+        assert table.lookup(Phv({"f": 0x12}))[0] == "high"
+        assert table.lookup(Phv({"f": 0x15}))[0] == "low"
+
+    def test_lpm_longest_prefix_wins(self):
+        table = Table("t", [MatchKey("ip", MatchKind.LPM)])
+        table.add([(0x0A000000, 8)], "slash8", priority=8)
+        table.add([(0x0A010000, 16)], "slash16", priority=16)
+        assert table.lookup(Phv({"ip": 0x0A010203}))[0] == "slash16"
+        assert table.lookup(Phv({"ip": 0x0A990203}))[0] == "slash8"
+
+    def test_lpm_zero_prefix_matches_all(self):
+        table = Table("t", [MatchKey("ip", MatchKind.LPM)])
+        table.add([(0, 0)], "any")
+        assert table.lookup(Phv({"ip": 12345}))[0] == "any"
+
+    def test_range_match(self):
+        table = Table("t", [MatchKey("port", MatchKind.RANGE)])
+        table.add([(1000, 2000)], "in_range")
+        assert table.lookup(Phv({"port": 1500}))[0] == "in_range"
+        assert table.lookup(Phv({"port": 2001}))[2] is False
+
+    def test_composite_key(self):
+        table = Table(
+            "t", [MatchKey("a"), MatchKey("b", MatchKind.RANGE)]
+        )
+        table.add([7, (0, 10)], "both")
+        assert table.lookup(Phv({"a": 7, "b": 5}))[0] == "both"
+        assert table.lookup(Phv({"a": 8, "b": 5}))[2] is False
+
+    def test_duplicate_exact_entry_rejected(self):
+        table = Table("t", [MatchKey("f")])
+        table.add([1], "x")
+        with pytest.raises(TableError):
+            table.add([1], "y")
+
+    def test_entry_arity_checked(self):
+        table = Table("t", [MatchKey("a"), MatchKey("b")])
+        with pytest.raises(TableError):
+            table.add([1], "x")
+
+    def test_capacity_enforced(self):
+        table = Table("t", [MatchKey("f")], max_entries=2)
+        table.add([1], "x")
+        table.add([2], "x")
+        with pytest.raises(TableError):
+            table.add([3], "x")
+
+    def test_remove_entry(self):
+        table = Table("t", [MatchKey("f")])
+        table.add([1], "x")
+        table.remove([1])
+        assert table.lookup(Phv({"f": 1}))[2] is False
+        with pytest.raises(TableError):
+            table.remove([1])
+
+    def test_hit_counter(self):
+        table = Table("t", [MatchKey("f")])
+        entry = table.add([1], "x")
+        table.lookup(Phv({"f": 1}))
+        table.lookup(Phv({"f": 1}))
+        assert entry.hits == 2
+
+    def test_needs_at_least_one_key(self):
+        with pytest.raises(TableError):
+            Table("t", [])
+
+
+class TestActions:
+    def _ctx(self):
+        return ActionContext(registers={"r": Register("r", 4)})
+
+    def test_set_and_copy_field(self):
+        actions = standard_actions()
+        phv = Phv({"src": 9})
+        actions["set_field"](phv, self._ctx(), field="dst", value=1)
+        actions["copy_field"](phv, self._ctx(), src="src", dst="dst2")
+        assert phv.get("dst") == 1 and phv.get("dst2") == 9
+
+    def test_chain_encode_decode(self):
+        actions = standard_actions()
+        phv = Phv()
+        actions["set_chain"](phv, self._ctx(), chain=[3, 5])
+        actions["push_chain"](phv, self._ctx(), engine=9)
+        assert decode_chain(phv.get("meta.chain")) == [3, 5, 9]
+
+    def test_set_slack_is_absolute_deadline(self):
+        actions = standard_actions()
+        ctx = ActionContext(now_ps=1000)
+        phv = Phv()
+        actions["set_slack"](phv, ctx, slack_ps=500)
+        assert phv.get("meta.slack_deadline_ps") == 1500
+
+    def test_count_register(self):
+        actions = standard_actions()
+        ctx = self._ctx()
+        for _ in range(3):
+            actions["count"](Phv(), ctx, register="r", index=2)
+        assert ctx.register("r").read(2) == 3
+
+    def test_load_balance_round_robins(self):
+        actions = standard_actions()
+        ctx = self._ctx()
+        picks = []
+        for _ in range(5):
+            phv = Phv()
+            actions["load_balance"](phv, ctx, register="r", ways=3)
+            picks.append(phv.get("meta.rx_queue"))
+        assert picks == [0, 1, 2, 0, 1]
+
+    def test_hash_select_stable_and_bounded(self):
+        actions = standard_actions()
+        phv1 = Phv({"ipv4.src": 111, "udp.src_port": 5})
+        phv2 = Phv({"ipv4.src": 111, "udp.src_port": 5})
+        actions["hash_select"](phv1, self._ctx(), fields=["ipv4.src", "udp.src_port"], ways=4)
+        actions["hash_select"](phv2, self._ctx(), fields=["ipv4.src", "udp.src_port"], ways=4)
+        assert phv1.get("meta.rx_queue") == phv2.get("meta.rx_queue")
+        assert 0 <= phv1.get("meta.rx_queue") < 4
+
+    def test_decrement_ttl_drops_at_zero(self):
+        actions = standard_actions()
+        phv = Phv({"ipv4.ttl": 1})
+        actions["decrement_ttl"](phv, self._ctx())
+        assert phv.get("meta.drop") == 1
+
+    def test_register_bounds(self):
+        reg = Register("r", 2)
+        with pytest.raises(IndexError):
+            reg.read(2)
+        with pytest.raises(ValueError):
+            Register("bad", 0)
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(ActionError):
+            ActionContext().register("ghost")
+
+    def test_decode_chain_odd_length_rejected(self):
+        with pytest.raises(ActionError):
+            decode_chain(b"\x00")
+
+
+class TestPipeline:
+    def test_stages_run_in_order(self):
+        program = RmtProgram("p")
+        t1 = program.add_table("first", [MatchKey("udp.dst_port")])
+        t1.add([9999], "set_field", {"field": "meta.mark", "value": 1})
+        t2 = program.add_table("second", [MatchKey("meta.mark")])
+        t2.add([1], "set_field", {"field": "meta.mark2", "value": 2})
+        pipe = RmtPipeline(program)
+        phv = pipe.process(udp_frame())
+        assert phv.get("meta.mark2") == 2
+
+    def test_drop_short_circuits(self):
+        program = RmtProgram("p")
+        t1 = program.add_table("dropper", [MatchKey("udp.dst_port")])
+        t1.add([9999], "drop")
+        t2 = program.add_table("after", [MatchKey("udp.dst_port")])
+        t2.add([9999], "set_field", {"field": "meta.after", "value": 1})
+        pipe = RmtPipeline(program)
+        phv = pipe.process(udp_frame())
+        assert phv.get("meta.drop") == 1
+        assert not phv.is_valid("meta.after")
+
+    def test_requires_guard_skips_stage(self):
+        program = RmtProgram("p")
+        table = program.add_table(
+            "kv_only", [MatchKey("kv.opcode")], requires="kv.opcode"
+        )
+        table.add([1], "set_field", {"field": "meta.kv", "value": 1})
+        pipe = RmtPipeline(program)
+        phv = pipe.process(udp_frame())  # not KV
+        assert not phv.is_valid("meta.kv")
+
+    def test_metadata_seeding(self):
+        program = RmtProgram("p")
+        pipe = RmtPipeline(program)
+        phv = pipe.process(udp_frame(), metadata={"ingress_port": 2})
+        assert phv.get("meta.ingress_port") == 2
+
+    def test_unknown_action_raises(self):
+        program = RmtProgram("p")
+        table = program.add_table("t", [MatchKey("udp.dst_port")])
+        table.add([9999], "not_an_action")
+        with pytest.raises(ActionError):
+            RmtPipeline(program).process(udp_frame())
+
+    def test_duplicate_action_name_rejected(self):
+        program = RmtProgram("p")
+        with pytest.raises(ActionError):
+            program.add_action("drop", lambda phv, ctx: None)
+
+    def test_duplicate_register_rejected(self):
+        program = RmtProgram("p")
+        program.add_register("r", 1)
+        with pytest.raises(ActionError):
+            program.add_register("r", 1)
+
+    def test_table_lookup_by_name(self):
+        program = RmtProgram("p")
+        table = program.add_table("mine", [MatchKey("x")])
+        assert program.table("mine") is table
+        with pytest.raises(KeyError):
+            program.table("ghost")
+
+    def test_deparse_rewrites_ttl(self):
+        program = RmtProgram("p")
+        table = program.add_table("ttl", [MatchKey("udp.dst_port")])
+        table.add([9999], "decrement_ttl")
+        pipe = RmtPipeline(program)
+        frame = udp_frame()
+        phv = pipe.process(frame)
+        out = RmtPipeline.deparse(phv, frame)
+        assert parse_frame(out).ipv4.ttl == 63
+        # Everything else survives.
+        assert parse_frame(out).payload == b"data"
+
+    def test_deparse_passthrough_without_l2(self):
+        phv = Phv()
+        assert RmtPipeline.deparse(phv, b"raw") == b"raw"

