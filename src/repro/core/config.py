@@ -21,6 +21,13 @@ KNOWN_OFFLOADS = (
 )
 
 
+def offload_base(name: str) -> str:
+    """Engine type behind an instanced offload name (``"ipsec1"`` ->
+    ``"ipsec"``): a trailing number distinguishes extra lanes of one
+    type."""
+    return name.rstrip("0123456789")
+
+
 @dataclass
 class PanicConfig:
     """Every knob of the reference PANIC NIC.
@@ -59,6 +66,9 @@ class PanicConfig:
     host_software_delay_ps: int = 2 * US
 
     # Which offload engines to instantiate, and their constructor kwargs.
+    # A numeric suffix instantiates another lane of the same engine type
+    # ("ipsec", "ipsec1" builds two IPSec engines), e.g. for failover
+    # spares or parallel-lane scaling; params are keyed by the full name.
     offloads: Tuple[str, ...] = ("ipsec", "compression", "kvcache", "rdma")
     offload_params: Dict[str, dict] = field(default_factory=dict)
 
@@ -73,6 +83,12 @@ class PanicConfig:
     payload_mode: str = "full"
     pktbuf_capacity_bytes: int = 2 << 20
     pktbuf_ports: int = 2
+
+    # RX integrity: verify IPv4/UDP checksums at classification and drop
+    # corrupted frames with accounting (PanicNic.corrupt_drops) instead of
+    # propagating them.  Off by default -- the checks cost pipeline work
+    # and matter only when links can corrupt (see repro.faults).
+    verify_checksums: bool = False
 
     # Optional explicit engine placement: engine key -> (x, y) tile.
     # Keys: "eth0"..., "rmt", "dma", "pcie", and offload names.  Engines
@@ -93,11 +109,16 @@ class PanicConfig:
                 f"payload_mode must be 'full' or 'pointer', got "
                 f"{self.payload_mode!r}"
             )
-        unknown = [name for name in self.offloads if name not in KNOWN_OFFLOADS]
+        unknown = [
+            name for name in self.offloads
+            if offload_base(name) not in KNOWN_OFFLOADS
+        ]
         if unknown:
             raise ValueError(
                 f"unknown offloads {unknown}; known: {KNOWN_OFFLOADS}"
             )
+        if len(set(self.offloads)) != len(self.offloads):
+            raise ValueError(f"duplicate offload names in {self.offloads}")
         if self.rmt_tiles < 1:
             raise ValueError(f"need at least one RMT tile, got {self.rmt_tiles}")
         tiles_needed = self.ports + 2 + self.rmt_tiles + len(self.offloads)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.config import PanicConfig
+from repro.core.config import PanicConfig, offload_base
 from repro.core.host import Host
 from repro.core.pipeline_programs import (
     PanicControl,
@@ -64,6 +64,14 @@ class PanicNic:
         self.transmitted: List[Packet] = []
         self._tx_callbacks: List[Callable[[Packet], None]] = []
         self.rmt_drops = Counter(f"{name}.rmt_drops")
+        self.corrupt_drops = Counter(f"{name}.corrupt_drops")
+        self.failovers = Counter(f"{name}.failovers")
+        # Failover policy: primary engine key -> backup engine key, and
+        # the set of engine keys already failed over.  An optional
+        # HealthMonitor (repro.faults.monitor) drives detection.
+        self._backups: Dict[str, str] = {}
+        self.failed_engines: set = set()
+        self.monitor = None
 
         self.mesh = Mesh(
             sim,
@@ -209,7 +217,8 @@ class PanicNic:
         for offload_name in cfg.offloads:
             x, y = overrides.get(offload_name) or next(tiles)
             params = cfg.offload_params.get(offload_name, {})
-            engine = factories[offload_name](f"{self.name}.{offload_name}", params)
+            factory = factories[offload_base(offload_name)]
+            engine = factory(f"{self.name}.{offload_name}", params)
             place(engine, offload_name, x, y)
 
         self.control = PanicControl(
@@ -282,6 +291,46 @@ class PanicNic:
         """Register an egress observer."""
         self._tx_callbacks.append(callback)
 
+    # ------------------------------------------------------------------
+    # Fault tolerance
+    # ------------------------------------------------------------------
+
+    def set_backup(self, primary: str, backup: str) -> None:
+        """Declare ``backup`` as the failover target for ``primary``.
+
+        On :meth:`handle_engine_failure` the control plane re-steers
+        every chain through the backup engine instead.
+        """
+        self.offload(primary)
+        self.offload(backup)
+        self._backups[primary] = backup
+
+    def handle_engine_failure(self, key: str) -> Optional[str]:
+        """Recover from a failed engine by recomputing routes around it.
+
+        Rewrites per-engine :class:`LocalLookupTable` entries and the RMT
+        program's offload chains to point at the configured backup, or to
+        skip the hop entirely when no backup exists.  Idempotent per
+        engine.  Returns the backup key used (None when the hop was
+        removed instead).
+        """
+        failed = self.offload(key)
+        if key in self.failed_engines:
+            return self._backups.get(key)
+        self.failed_engines.add(key)
+        backup_key = self._backups.get(key)
+        backup_addr: Optional[int] = None
+        if backup_key is not None:
+            backup_addr = self.offload(backup_key).address
+        old_addr = failed.address
+        for other in self.engines.values():
+            if other is failed:
+                continue
+            other.lookup_table.remap(old_addr, backup_addr)
+        self.control.remap_engine(old_addr, backup_addr)
+        self.failovers.add()
+        return backup_key
+
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Aggregate per-engine statistics for reporting."""
         out: Dict[str, Dict[str, float]] = {}
@@ -294,6 +343,10 @@ class PanicNic:
             }
             if engine.queue_latency.count:
                 entry["queue_latency_ns_p99"] = engine.queue_latency.percentile_ns(99)
+            if engine.blackholed.value:
+                entry["blackholed"] = engine.blackholed.value
+            if engine.queue.rank_corruptions.value:
+                entry["rank_corruptions"] = engine.queue.rank_corruptions.value
             out[key] = entry
         out["host"] = {
             "rx_delivered": self.host.rx_delivered.value,
@@ -304,4 +357,27 @@ class PanicNic:
             "transmitted": len(self.transmitted),
             "rmt_drops": self.rmt_drops.value,
         }
+        faults: Dict[str, float] = {
+            "corrupt_drops": self.corrupt_drops.value,
+            "failovers": self.failovers.value,
+            "failed_engines": len(self.failed_engines),
+            "blackholed": sum(
+                e.blackholed.value for e in self.engines.values()
+            ),
+            "link_corruptions": sum(
+                ch.corrupted.value for ch in self.mesh.channels
+            ),
+            "link_drops": sum(
+                ch.dropped_flits.value for ch in self.mesh.channels
+            ),
+            "leaked_credits": sum(
+                ch.leaked_credits.value for ch in self.mesh.channels
+            ),
+            "pifo_rank_corruptions": sum(
+                e.queue.rank_corruptions.value for e in self.engines.values()
+            ),
+        }
+        if self.monitor is not None:
+            faults.update(self.monitor.stats())
+        out["faults"] = faults
         return out

@@ -312,6 +312,33 @@ class PanicControl:
             [dscp], "police", {"slack_ps": slack_ps}
         )
 
+    # -- Failover ---------------------------------------------------------
+
+    def remap_engine(self, old_addr: int, new_addr: Optional[int]) -> int:
+        """Rewrite every installed chain that routes through ``old_addr``.
+
+        The failover path (section on fault tolerance in DESIGN.md): when
+        an engine dies, the control plane recomputes offload chains around
+        it by substituting the backup's address, or -- with
+        ``new_addr=None`` -- removing the hop entirely so traffic skips
+        the lost function instead of black-holing.  Returns the number of
+        rewritten table entries.
+        """
+        changed = 0
+        for stage in self.program.stages:
+            for entry in stage.table.entries():
+                chain = entry.params.get("chain")
+                if not chain or old_addr not in chain:
+                    continue
+                if new_addr is None:
+                    entry.params["chain"] = [a for a in chain if a != old_addr]
+                else:
+                    entry.params["chain"] = [
+                        new_addr if a == old_addr else a for a in chain
+                    ]
+                changed += 1
+        return changed
+
 
 def panic_decision_factory(nic):
     """Build the decision handler that turns PHVs into chain headers.
@@ -320,6 +347,8 @@ def panic_decision_factory(nic):
     split out so baselines can install different handlers on the same
     engine type.
     """
+    from repro.packet.builder import frame_checksums_ok
+    from repro.packet.packet import MessageKind
     from repro.packet.panic_hdr import PanicHeader
 
     def decide(packet, phv):
@@ -329,6 +358,15 @@ def panic_decision_factory(nic):
             # includes itself as a nexthop in the chain"); continue the
             # existing chain rather than reclassifying from scratch.
             return [(packet, None)]
+        if (
+            nic.config.verify_checksums
+            and packet.kind is MessageKind.ETHERNET
+            and not frame_checksums_ok(packet.data)
+        ):
+            # Link corruption detected at the classification point: drop
+            # with accounting instead of steering a mangled frame.
+            nic.corrupt_drops.add()
+            return []
         if phv.get_or("meta.drop", 0):
             nic.rmt_drops.add()
             return []

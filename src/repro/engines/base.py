@@ -22,7 +22,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.noc.message import NocMessage
 from repro.noc.router import Endpoint
-from repro.packet.packet import Packet
+from repro.packet.packet import MessageKind, Packet
 from repro.sched.pifo import PifoFullError, PifoQueue
 from repro.sim.clock import Clock, MHZ
 from repro.sim.kernel import Component, Simulator
@@ -35,6 +35,10 @@ LOOKUP_CYCLES = 1
 #: An engine's output: the packet plus an explicit destination address, or
 #: ``None`` to route by the packet's chain header / local lookup table.
 EngineOutput = Tuple[Packet, Optional[int]]
+
+#: Injected fault modes (see :meth:`Engine.fail` and :mod:`repro.faults`).
+FAULT_CRASH = "crash"
+FAULT_STALL = "stall"
 
 
 class LocalLookupTable:
@@ -59,6 +63,25 @@ class LocalLookupTable:
         self.lookups.add()
         hit = self._rules.get(key)
         return hit if hit is not None else self.default_next
+
+    def remap(self, old_addr: int, new_addr: Optional[int]) -> int:
+        """Failover re-steering: rewrite every next-hop equal to
+        ``old_addr``.  ``new_addr=None`` deletes the rules instead (the
+        key falls back to the default route).  Returns the number of
+        rewritten entries (including the default)."""
+        changed = 0
+        for key, addr in list(self._rules.items()):
+            if addr != old_addr:
+                continue
+            if new_addr is None:
+                del self._rules[key]
+            else:
+                self._rules[key] = new_addr
+            changed += 1
+        if self.default_next == old_addr:
+            self.default_next = new_addr
+            changed += 1
+        return changed
 
 
 class Engine(Component, Endpoint):
@@ -112,9 +135,16 @@ class Engine(Component, Endpoint):
         #: process a pointer-carried payload pay for port access.
         self.payload_buffer = None
         self._busy_lanes = 0
+        #: Injected fault state (see repro.faults): ``None`` = healthy,
+        #: ``"crash"`` = dead tile (black-holes all traffic), ``"stall"``
+        #: = accepts but never serves.
+        self.fault_mode: Optional[str] = None
+        #: Service-time multiplier for injected slowdowns (1.0 = nominal).
+        self.slowdown: float = 1.0
         # Statistics every experiment reads.
         self.processed = Counter(f"{name}.processed")
         self.rejected = Counter(f"{name}.rejected")
+        self.blackholed = Counter(f"{name}.blackholed")
         self.queue_latency = LatencyTracker(f"{name}.queue_latency")
         self.service_latency = LatencyTracker(f"{name}.service_latency")
 
@@ -151,6 +181,12 @@ class Engine(Component, Endpoint):
         once a slot frees -- one concrete answer to the paper's section 6
         flow-control question.
         """
+        if self.fault_mode == FAULT_CRASH:
+            # A dead tile sinks everything delivered to it: the router's
+            # credit loop keeps turning (the mesh stays live) but the
+            # message is lost, and counted.
+            self.blackholed.add()
+            return True
         _rank, droppable = self._rank_of(message)
         if (
             self.overflow == "backpressure"
@@ -164,6 +200,9 @@ class Engine(Component, Endpoint):
 
     def receive(self, message: NocMessage) -> None:
         """Rank by slack deadline, enqueue, maybe start service."""
+        if self.fault_mode == FAULT_CRASH:
+            self.blackholed.add()
+            return
         rank, droppable = self._rank_of(message)
         message.packet.meta.annotations["enqueue_ps"] = self.now
         try:
@@ -182,6 +221,10 @@ class Engine(Component, Endpoint):
     # ------------------------------------------------------------------
 
     def _try_start(self) -> None:
+        if self.fault_mode is not None:
+            # Crashed or stalled engines serve nothing; a stalled engine's
+            # queue keeps filling until backpressure (or drops) kick in.
+            return
         freed_space = False
         while self._busy_lanes < self.lanes and not self.queue.is_empty:
             message, _rank = self.queue.pop()
@@ -189,7 +232,7 @@ class Engine(Component, Endpoint):
             self._busy_lanes += 1
             enq = message.packet.meta.annotations.pop("enqueue_ps", self.now)
             self.queue_latency.observe(enq, self.now)
-            delay = self.service_time_ps(message.packet)
+            delay = self.scaled_service_time_ps(message.packet)
             delay += self._payload_buffer_delay(message.packet)
             self.schedule(delay, self._finish, message, self.now)
         if freed_space and self.notify_space is not None:
@@ -198,9 +241,16 @@ class Engine(Component, Endpoint):
 
     def _finish(self, message: NocMessage, started_ps: int) -> None:
         self._busy_lanes -= 1
+        if self.fault_mode == FAULT_CRASH:
+            # The engine died while this message was in service.
+            self.blackholed.add()
+            return
         self.processed.add()
         self.service_latency.observe(started_ps, self.now)
         packet = message.packet
+        if self._echo_heartbeat(packet):
+            self._try_start()
+            return
         packet.touch(self.name)
         outputs = self.handle(packet)
         lookup_delay = 0
@@ -254,6 +304,71 @@ class Engine(Component, Endpoint):
             return header.advance()
         key = packet.kind
         return self.lookup_table.lookup(key)
+
+    # ------------------------------------------------------------------
+    # Fault injection and health (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def fail(self, mode: str = FAULT_CRASH) -> None:
+        """Put the engine into a failed state.
+
+        ``"crash"`` models a dead tile: queued and in-service messages are
+        lost (counted in :attr:`blackholed`) and all future deliveries are
+        sunk, but the tile's router keeps switching -- the mesh stays
+        lossless for through-traffic.  ``"stall"`` models a wedged engine:
+        deliveries are still accepted but nothing is ever served.
+        """
+        if mode not in (FAULT_CRASH, FAULT_STALL):
+            raise ValueError(
+                f"{self.name}: fault mode must be 'crash' or 'stall', "
+                f"got {mode!r}"
+            )
+        self.fault_mode = mode
+        if mode == FAULT_CRASH:
+            lost = len(self.queue)
+            self.queue.drain()
+            self.blackholed.add(lost)
+            if self.notify_space is not None:
+                # The router may hold refused messages; let it deliver
+                # them so they are sunk (and counted) rather than wedged.
+                self.notify_space()
+
+    def recover(self) -> None:
+        """Clear any injected fault and resume service."""
+        self.fault_mode = None
+        self.slowdown = 1.0
+        self._try_start()
+        if self.notify_space is not None:
+            self.notify_space()
+
+    @property
+    def failed(self) -> bool:
+        return self.fault_mode is not None
+
+    def scaled_service_time_ps(self, packet: Packet) -> int:
+        """Service time with any injected slowdown factor applied."""
+        delay = self.service_time_ps(packet)
+        if self.slowdown != 1.0:
+            delay = int(delay * self.slowdown)
+        return delay
+
+    def _echo_heartbeat(self, packet: Packet) -> bool:
+        """Answer a health-monitor probe; True when ``packet`` was one.
+
+        Probes ride the mesh and the engine's own scheduling queue like
+        any other message, so the echo proves the whole tile -- router,
+        PIFO, service loop -- is live, not just that the object exists.
+        """
+        if packet.kind is not MessageKind.CONTROL:
+            return False
+        reply_to = packet.meta.annotations.get("hb_reply_to")
+        if reply_to is None:
+            return False
+        echo = Packet(b"", MessageKind.CONTROL)
+        echo.meta.annotations["hb_echo_from"] = self.address
+        echo.meta.annotations["hb_seq"] = packet.meta.annotations.get("hb_seq")
+        self.send(echo, int(reply_to))
+        return True
 
     # ------------------------------------------------------------------
     # Subclass interface

@@ -108,6 +108,8 @@ class RmtPipelineEngine(Engine):
         # Admit from the scheduling queue at the initiation interval; each
         # admitted packet completes `latency` later.  No lane blocking --
         # the pipeline is, well, a pipeline.
+        if self.fault_mode is not None:
+            return
         while not self.queue.is_empty:
             message, _rank = self.queue.pop()
             start = max(self.now, self._next_accept_ps)
@@ -118,10 +120,18 @@ class RmtPipelineEngine(Engine):
             self.schedule(finish - self.now, self._finish_rmt, message, start)
 
     def _finish_rmt(self, message: NocMessage, started_ps: int) -> None:
+        from repro.engines.base import FAULT_CRASH
+
+        if self.fault_mode == FAULT_CRASH:
+            self.blackholed.add()
+            return
         self.processed.add()
         self.pps_meter.record(self.now)
         self.service_latency.observe(started_ps, self.now)
         packet = message.packet
+        if self._echo_heartbeat(packet):
+            self._try_start()
+            return
         packet.touch(self.name)
         phv = self.pipeline.process(
             packet.data,

@@ -1,0 +1,91 @@
+"""Arms a :class:`~repro.faults.plan.FaultPlan` against a running NIC.
+
+The injector translates plan events into concrete mutations of the
+simulation -- engine ``fail()``/``recover()`` calls, channel one-shot
+corruption/drop arming, PIFO rank scrambles -- scheduled at their exact
+timestamps.  Every stochastic choice (which bit flips, which rank a
+corrupted entry gets) comes from a per-event fork of the plan's seeded
+RNG, so the same plan replays identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.engines.base import FAULT_CRASH, FAULT_STALL
+from repro.faults.plan import (
+    CRASH,
+    FaultEvent,
+    FaultPlan,
+    LINK_CORRUPT,
+    LINK_DROP,
+    PIFO_CORRUPT,
+    RECOVER,
+    SLOW,
+    STALL,
+)
+from repro.sim.rng import SeededRng
+from repro.sim.stats import Counter
+
+
+class FaultInjector:
+    """Schedules a plan's events into a NIC's simulator.
+
+    Parameters
+    ----------
+    nic:
+        The :class:`~repro.core.panic.PanicNic` under test.
+    plan:
+        The fault schedule.  Engine targets are resolved through
+        ``nic.offload``; channel targets through ``nic.mesh.channel`` --
+        both raise at injection time if a target does not exist, so a
+        typo'd plan fails loudly rather than silently doing nothing.
+    """
+
+    def __init__(self, nic, plan: FaultPlan):
+        self.nic = nic
+        self.plan = plan
+        self.rng = SeededRng(plan.seed)
+        self.injected = Counter("faults.injected")
+        #: (time_ps, kind, target) of every applied event, for reports.
+        self.applied: List[Tuple[int, str, str]] = []
+        self._armed = False
+
+    def arm(self) -> None:
+        """Schedule every plan event.  Call once, before running."""
+        if self._armed:
+            raise RuntimeError("fault plan already armed")
+        self._armed = True
+        for index, event in enumerate(self.plan.events()):
+            self.nic.sim.schedule_at(
+                event.at_ps, self._apply, event, self.rng.fork(f"fault{index}")
+            )
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent, rng: SeededRng) -> None:
+        kind = event.kind
+        if kind == CRASH:
+            self.nic.offload(event.target).fail(FAULT_CRASH)
+        elif kind == STALL:
+            self.nic.offload(event.target).fail(FAULT_STALL)
+        elif kind == SLOW:
+            self.nic.offload(event.target).slowdown = event.params["factor"]
+        elif kind == RECOVER:
+            self.nic.offload(event.target).recover()
+            if self.nic.monitor is not None:
+                self.nic.monitor.clear(event.target)
+        elif kind == LINK_CORRUPT:
+            self.nic.mesh.channel(event.target).inject_corruption(
+                rng, bits=event.params["bits"], offset=event.params["offset"]
+            )
+        elif kind == LINK_DROP:
+            self.nic.mesh.channel(event.target).inject_drop(
+                leak_credit=event.params["leak_credit"]
+            )
+        elif kind == PIFO_CORRUPT:
+            self.nic.offload(event.target).queue.corrupt_ranks(rng)
+        else:  # pragma: no cover - FaultEvent validates kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.injected.add()
+        self.applied.append((self.nic.sim.now, kind, event.target))

@@ -1,0 +1,142 @@
+"""Declarative, seed-reproducible fault schedules.
+
+A :class:`FaultPlan` is a list of timed fault events plus a seed.  It is
+pure data: building a plan touches nothing; a
+:class:`~repro.faults.injector.FaultInjector` arms it against a NIC.  Two
+runs armed with equal plans (same events, same seed) inject bit-identical
+faults, so fault experiments are as reproducible as fault-free ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.clock import format_time
+
+#: Fault event kinds (the ``FaultEvent.kind`` vocabulary).
+CRASH = "crash"
+STALL = "stall"
+SLOW = "slow"
+RECOVER = "recover"
+LINK_CORRUPT = "link_corrupt"
+LINK_DROP = "link_drop"
+PIFO_CORRUPT = "pifo_corrupt"
+
+KINDS = (CRASH, STALL, SLOW, RECOVER, LINK_CORRUPT, LINK_DROP, PIFO_CORRUPT)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *what* happens to *whom* at *when*.
+
+    ``target`` is an engine key (``"ipsec"``) for engine/PIFO faults and a
+    full channel name (``"panic.mesh.ch_0_0_east"``) for link faults.
+    """
+
+    at_ps: int
+    kind: str
+    target: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.at_ps < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_ps}")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+
+    def describe(self) -> str:
+        extra = ""
+        if self.params:
+            extra = " " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.params.items())
+            )
+        return f"@{format_time(self.at_ps)} {self.kind} {self.target}{extra}"
+
+
+class FaultPlan:
+    """A builder for timed fault schedules.
+
+    All methods return ``self`` for chaining::
+
+        plan = (FaultPlan(seed=7)
+                .crash_engine(30 * US, "ipsec")
+                .corrupt_link(50 * US, "panic.mesh.inj_0_0", offset=20))
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._events: List[FaultEvent] = []
+
+    # -- engine faults ---------------------------------------------------
+
+    def crash_engine(self, at_ps: int, engine: str) -> "FaultPlan":
+        """Kill a tile: queued and future traffic is black-holed."""
+        return self._add(at_ps, CRASH, engine)
+
+    def stall_engine(self, at_ps: int, engine: str) -> "FaultPlan":
+        """Wedge a tile: it accepts messages but never serves them."""
+        return self._add(at_ps, STALL, engine)
+
+    def slow_engine(self, at_ps: int, engine: str, factor: float) -> "FaultPlan":
+        """Multiply a tile's service time by ``factor`` (> 1 degrades)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        return self._add(at_ps, SLOW, engine, factor=factor)
+
+    def recover_engine(self, at_ps: int, engine: str) -> "FaultPlan":
+        """Clear an injected engine fault and resume service."""
+        return self._add(at_ps, RECOVER, engine)
+
+    # -- link faults -----------------------------------------------------
+
+    def corrupt_link(
+        self, at_ps: int, channel: str, bits: int = 1,
+        offset: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Flip ``bits`` payload bits in the next transfer on ``channel``.
+
+        ``offset`` pins the flips inside one payload byte, which makes
+        checksum-detection tests deterministic; without it, bit positions
+        are drawn from the plan's seeded RNG.
+        """
+        if bits < 1:
+            raise ValueError(f"must corrupt at least one bit, got {bits}")
+        return self._add(at_ps, LINK_CORRUPT, channel, bits=bits, offset=offset)
+
+    def drop_on_link(
+        self, at_ps: int, channel: str, leak_credit: bool = True
+    ) -> "FaultPlan":
+        """Vanish the next transfer on ``channel`` mid-flight.
+
+        With ``leak_credit`` the consumed credit never returns -- the
+        classic leak that eventually wedges a lossless mesh, which the
+        diagnostics in :meth:`repro.noc.mesh.Mesh.stuck_report` surface.
+        """
+        return self._add(at_ps, LINK_DROP, channel, leak_credit=leak_credit)
+
+    # -- scheduler faults ------------------------------------------------
+
+    def corrupt_pifo(self, at_ps: int, engine: str) -> "FaultPlan":
+        """Scramble the ranks of everything queued in a tile's PIFO."""
+        return self._add(at_ps, PIFO_CORRUPT, engine)
+
+    # -- introspection ---------------------------------------------------
+
+    def events(self) -> List[FaultEvent]:
+        """All events, time-sorted (stable for equal timestamps)."""
+        return sorted(self._events, key=lambda e: e.at_ps)
+
+    def describe(self) -> str:
+        if not self._events:
+            return "fault plan: empty"
+        lines = [f"fault plan (seed={self.seed}, {len(self._events)} events):"]
+        lines += [f"  {event.describe()}" for event in self.events()]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def _add(self, at_ps: int, kind: str, target: str, **params) -> "FaultPlan":
+        self._events.append(FaultEvent(int(at_ps), kind, target, params))
+        return self

@@ -76,10 +76,17 @@ class Channel(Component):
         self._pending: Deque["NocMessage"] = deque()
         self._busy_until = 0
         self._transfer_in_progress = False
+        # Pending injected faults (see inject_corruption / inject_drop):
+        # each entry applies to one future transfer completion.
+        self._fault_corruptions: Deque[tuple] = deque()
+        self._fault_drops: Deque[bool] = deque()
         # Statistics.
         self.sent = Counter(f"{name}.sent")
         self.bits_sent = Counter(f"{name}.bits")
         self.stall_events = Counter(f"{name}.stalls")
+        self.corrupted = Counter(f"{name}.corrupted")
+        self.dropped_flits = Counter(f"{name}.dropped_flits")
+        self.leaked_credits = Counter(f"{name}.leaked_credits")
 
     # ------------------------------------------------------------------
     # Sender interface
@@ -120,6 +127,39 @@ class Channel(Component):
         self._credits += 1
         self._try_start()
 
+    @property
+    def max_credits(self) -> int:
+        """Size of the credit pool (downstream buffer slots)."""
+        return self._max_credits
+
+    @property
+    def credit_deficit(self) -> int:
+        """Credits currently held downstream (or leaked by a fault)."""
+        return self._max_credits - self._credits
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+
+    def inject_corruption(self, rng, bits: int = 1,
+                          offset: Optional[int] = None) -> None:
+        """Arm a one-shot fault: the next message completing a transfer on
+        this wire has ``bits`` random payload bits flipped (positions drawn
+        from ``rng``, or within the byte at ``offset`` when given).  The
+        message still delivers -- detection is the receiver's job, at
+        checksum/ICV verification points.
+        """
+        self._fault_corruptions.append((rng, bits, offset))
+
+    def inject_drop(self, leak_credit: bool = True) -> None:
+        """Arm a one-shot fault: the next message completing a transfer
+        vanishes in flight.  With ``leak_credit`` (the default, modelling a
+        corrupted credit-return path) the consumed credit is never
+        returned, permanently shrinking the channel's pool -- the classic
+        leak that eventually wedges a lossless mesh.
+        """
+        self._fault_drops.append(leak_credit)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -148,9 +188,35 @@ class Channel(Component):
 
     def _complete(self, message: "NocMessage") -> None:
         self._transfer_in_progress = False
+        if self._fault_drops:
+            leak = self._fault_drops.popleft()
+            self.dropped_flits.add()
+            if leak:
+                self.leaked_credits.add()
+            else:
+                self._credits += 1
+            self._try_start()
+            return
+        if self._fault_corruptions:
+            rng, bits, offset = self._fault_corruptions.popleft()
+            self._apply_corruption(message, rng, bits, offset)
         message.hops += 1
         self.deliver(message, self)
         self._try_start()
+
+    def _apply_corruption(self, message: "NocMessage", rng, bits: int,
+                          offset: Optional[int]) -> None:
+        data = bytearray(message.packet.data)
+        if not data:
+            return
+        for _ in range(bits):
+            if offset is not None and 0 <= offset < len(data):
+                position = offset * 8 + rng.randint(0, 7)
+            else:
+                position = rng.randint(0, len(data) * 8 - 1)
+            data[position // 8] ^= 1 << (position % 8)
+        message.packet.data = bytes(data)
+        self.corrupted.add()
 
     def utilization(self, elapsed_ps: int) -> float:
         """Fraction of ``elapsed_ps`` the wires spent busy."""

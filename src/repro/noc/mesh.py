@@ -24,6 +24,15 @@ from repro.sim.kernel import Simulator
 from repro.sim.stats import Counter
 
 
+class MeshStuckError(RuntimeError):
+    """The mesh quiesced with messages still buffered or queued.
+
+    The message carries :meth:`Mesh.stuck_report`, naming the channels and
+    routers holding traffic -- the starting point for diagnosing a credit
+    leak or a wedged endpoint.
+    """
+
+
 @dataclass
 class MeshConfig:
     """Parameters of the on-chip network.
@@ -190,6 +199,22 @@ class Mesh:
         except KeyError:
             raise ValueError(f"no endpoint bound at address {address}") from None
 
+    def unbound_tiles(self) -> List[Tuple[int, int]]:
+        """Tiles with no endpoint attached (free for monitors, spares...)."""
+        return [
+            (x, y)
+            for y in range(self.config.height)
+            for x in range(self.config.width)
+            if self.address_of(x, y) not in self._endpoints
+        ]
+
+    def channel(self, name: str) -> Channel:
+        """Look up a channel by its full name (e.g. ``mesh.inj_0_0``)."""
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        raise ValueError(f"no channel named {name!r} in {self.name}")
+
     def router_at(self, x: int, y: int) -> Router:
         return self._routers[(x, y)]
 
@@ -211,6 +236,56 @@ class Mesh:
         """Messages buffered in routers or queued/serializing on channels."""
         queued = sum(channel.queue_len for channel in self.channels)
         return self.buffered_messages + queued
+
+    @property
+    def credit_deficit(self) -> int:
+        """Total credits held downstream or leaked across all channels."""
+        return sum(channel.credit_deficit for channel in self.channels)
+
+    def stuck_report(self) -> str:
+        """Name the channels and routers still holding traffic or credits.
+
+        Used by :meth:`assert_drained` and the fault-injection harness: a
+        quiesced mesh with ``in_flight != 0`` (or a credit deficit with no
+        traffic) indicates a deadlock or leak, and this report points at
+        the exact links involved instead of a bare count.
+        """
+        lines: List[str] = []
+        for channel in self.channels:
+            busy = channel._transfer_in_progress
+            if channel.queue_len or busy or channel.credit_deficit:
+                state = []
+                if channel.queue_len:
+                    state.append(f"{channel.queue_len} queued")
+                if busy:
+                    state.append("transfer in progress")
+                if channel.credit_deficit:
+                    state.append(
+                        f"{channel.credit_deficit}/{channel.max_credits} "
+                        "credits outstanding"
+                    )
+                if channel.leaked_credits.value:
+                    state.append(f"{channel.leaked_credits.value} leaked")
+                lines.append(f"  channel {channel.name}: {', '.join(state)}")
+        for router in self._routers.values():
+            if router.buffered_messages:
+                lines.append(
+                    f"  router {router.name}: {router.buffered_messages} "
+                    "buffered messages"
+                )
+        if not lines:
+            return f"{self.name}: fully drained"
+        header = (
+            f"{self.name}: {self.in_flight} messages in flight, "
+            f"{self.credit_deficit} credits outstanding"
+        )
+        return "\n".join([header] + lines)
+
+    def assert_drained(self) -> None:
+        """Raise :class:`MeshStuckError` (with the stuck report) when
+        messages remain buffered in routers or queued on channels."""
+        if self.in_flight != 0:
+            raise MeshStuckError(self.stuck_report())
 
     def bisection_bandwidth_bps(self) -> float:
         """Analytical bisection bandwidth of this mesh (both directions)."""

@@ -47,6 +47,7 @@ from repro.packet.builder import (
     build_kv_request_frame,
     build_kv_response_frame,
     build_udp_frame,
+    frame_checksums_ok,
     parse_frame,
     ParsedFrame,
 )
@@ -81,6 +82,7 @@ __all__ = [
     "build_kv_request_frame",
     "build_kv_response_frame",
     "build_udp_frame",
+    "frame_checksums_ok",
     "crc32",
     "internet_checksum",
     "parse_frame",

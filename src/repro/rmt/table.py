@@ -134,6 +134,10 @@ class Table:
         self._exact_index.clear()
         self._scan_entries.clear()
 
+    def entries(self) -> List[TableEntry]:
+        """All installed entries (control-plane inspection / rewriting)."""
+        return list(self._exact_index.values()) + list(self._scan_entries)
+
     def _validate_patterns(self, patterns: Sequence[Any]) -> None:
         for key, pattern in zip(self.keys, patterns):
             if key.kind == MatchKind.EXACT:

@@ -50,6 +50,7 @@ class PifoQueue(Generic[T]):
         self._seq = itertools.count()
         self.pushed = Counter(f"{name}.pushed")
         self.dropped = Counter(f"{name}.dropped")
+        self.rank_corruptions = Counter(f"{name}.rank_corruptions")
         self.max_occupancy = 0
 
     def __len__(self) -> int:
@@ -111,6 +112,26 @@ class PifoQueue(Generic[T]):
         heapq.heapify(self._heap)
         self.dropped.add()
         return True
+
+    def corrupt_ranks(self, rng) -> int:
+        """Fault injection: scramble the rank store (simulated SRAM upset).
+
+        Every queued item's rank is replaced with a draw from ``rng`` (a
+        :class:`~repro.sim.rng.SeededRng`), so subsequent pops serve in a
+        corrupted order.  Items are never lost -- PIFO state corruption
+        violates scheduling guarantees, not losslessness.  Returns the
+        number of entries corrupted.
+        """
+        if not self._heap:
+            return 0
+        corrupted = len(self._heap)
+        self._heap = [
+            (rng.randint(0, 1 << 62), seq, droppable, item)
+            for (_rank, seq, droppable, item) in self._heap
+        ]
+        heapq.heapify(self._heap)
+        self.rank_corruptions.add(corrupted)
+        return corrupted
 
     def pop(self) -> Tuple[T, int]:
         """Remove and return ``(item, rank)`` with the minimum rank."""

@@ -22,6 +22,15 @@ class SimError(RuntimeError):
     """Raised for kernel misuse (time travel, running a finished sim, ...)."""
 
 
+class DeadlockError(SimError):
+    """``run`` exhausted its event budget with work still pending.
+
+    The message carries :meth:`Simulator.pending_summary`, naming the
+    callbacks that keep firing -- usually enough to spot a credit leak or
+    a component rescheduling itself forever.
+    """
+
+
 class Event:
     """A scheduled callback.
 
@@ -129,6 +138,7 @@ class Simulator:
         self,
         until_ps: Optional[int] = None,
         max_events: Optional[int] = None,
+        on_max_events: str = "return",
     ) -> int:
         """Run until the heap drains, ``until_ps`` is reached, or
         ``max_events`` more events have fired.
@@ -137,10 +147,28 @@ class Simulator:
         is given, simulated time is advanced to exactly ``until_ps`` even if
         the heap drains earlier, so back-to-back ``run`` calls see a
         consistent clock.
+
+        ``on_max_events`` controls what happens when the event budget is
+        exhausted with live events still pending: ``"return"`` (default)
+        stops quietly, ``"raise"`` raises :class:`DeadlockError` carrying
+        :meth:`pending_summary` -- a budget exhausted with work pending is
+        almost always a deadlock or a credit leak, and the summary names
+        the callbacks keeping the heap alive.
         """
+        if on_max_events not in ("return", "raise"):
+            raise SimError(
+                f"on_max_events must be 'return' or 'raise', got {on_max_events!r}"
+            )
         fired = 0
         while self._heap:
             if max_events is not None and fired >= max_events:
+                if on_max_events == "raise" and self.live_pending_events:
+                    raise DeadlockError(
+                        f"run() exhausted max_events={max_events} at "
+                        f"{format_time(self.now)} with work still pending "
+                        f"(likely deadlock or livelock)\n"
+                        + self.pending_summary()
+                    )
                 break
             head = self._heap[0]
             if head.cancelled:
@@ -153,6 +181,36 @@ class Simulator:
         if until_ps is not None and self.now < until_ps:
             self.now = until_ps
         return fired
+
+    def pending_summary(self, limit: int = 8) -> str:
+        """Human-readable digest of the live events still in the heap.
+
+        Events are grouped by callback qualname with counts and earliest
+        firing time, so a wedged run reports *who* is stuck (e.g. a channel
+        ``_complete`` that never delivers) rather than a bare number.
+        """
+        groups: Dict[str, List[int]] = {}
+        for event in self._heap:
+            if event.cancelled:
+                continue
+            name = getattr(event.fn, "__qualname__", repr(event.fn))
+            groups.setdefault(name, []).append(event.when)
+        if not groups:
+            return "pending events: none"
+        lines = [f"pending events: {sum(len(w) for w in groups.values())}"]
+        ranked = sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+        for name, whens in ranked[:limit]:
+            lines.append(
+                f"  {len(whens):>5} x {name} (earliest @{format_time(min(whens))})"
+            )
+        if len(ranked) > limit:
+            lines.append(f"  ... and {len(ranked) - limit} more callback kinds")
+        return "\n".join(lines)
+
+    @property
+    def live_pending_events(self) -> int:
+        """Number of non-cancelled events still in the heap."""
+        return sum(1 for event in self._heap if not event.cancelled)
 
     @property
     def events_fired(self) -> int:

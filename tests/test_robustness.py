@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import PanicConfig, PanicNic
 from repro.engines import IpsecSa
+from repro.faults import FaultInjector, FaultPlan, attach_health_monitor
 from repro.packet import (
     ETHERTYPE_PANIC,
     Packet,
@@ -15,6 +16,7 @@ from repro.packet import (
     KvRequest,
 )
 from repro.sim import Simulator
+from repro.sim.clock import US
 
 
 def good_frame(payload=b"ok", dscp=0):
@@ -143,3 +145,323 @@ class TestHostileLoad:
         assert len(delivered) == 200
         assert nic.mesh.in_flight == 0
         assert all(not e.busy for e in nic.engines.values())
+
+
+def failover_nic(sim, **extra):
+    """Two IPSec lanes (primary + instanced spare) with a backup rule."""
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("ipsec", "ipsec1", "compression", "kvcache"),
+        **extra,
+    ))
+    nic.set_backup("ipsec", "ipsec1")
+    nic.control.route_dscp(10, ["ipsec"])
+    return nic
+
+
+class TestEngineFailover:
+    def test_crash_failover_resteers_chain(self, sim):
+        """After handle_engine_failure, new traffic for the dead lane's
+        class flows through the backup engine instead."""
+        nic = failover_nic(sim)
+        nic.offload("ipsec").fail()
+        nic.handle_engine_failure("ipsec")
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        for i in range(10):
+            nic.inject(Packet(good_frame(payload=bytes(64), dscp=10)))
+        sim.run()
+        assert len(delivered) == 10
+        assert nic.offload("ipsec").processed.value == 0
+        assert nic.offload("ipsec1").processed.value == 10
+        assert nic.failovers.value == 1
+        assert nic.mesh.in_flight == 0
+
+    def test_failover_rewrites_rmt_chains_and_lookup_tables(self, sim):
+        nic = failover_nic(sim)
+        old = nic.offload("ipsec").address
+        new = nic.offload("ipsec1").address
+        nic.control.enable_ipsec_rx()  # another chain through the primary
+        rewritten = nic.control.remap_engine(old, new)
+        assert rewritten == 2  # dscp_route + ipsec_rx entries
+        table = nic.offload("compression").lookup_table
+        table.install("marker", old)
+        assert table.remap(old, new) == 1
+        assert table.lookup("marker") == new
+
+    def test_failover_without_backup_removes_the_hop(self, sim):
+        nic = PanicNic(sim, PanicConfig(ports=1))
+        nic.control.route_dscp(10, ["ipsec"])
+        nic.offload("ipsec").fail()
+        nic.handle_engine_failure("ipsec")
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(good_frame(dscp=10)))
+        sim.run()
+        # The dead hop was cut from the chain; traffic skips straight to
+        # the DMA engine instead of black-holing.
+        assert len(delivered) == 1
+        assert nic.offload("ipsec").blackholed.value == 0
+
+    def test_handle_engine_failure_is_idempotent(self, sim):
+        nic = failover_nic(sim)
+        nic.handle_engine_failure("ipsec")
+        nic.handle_engine_failure("ipsec")
+        assert nic.failovers.value == 1
+
+
+class TestHealthMonitor:
+    def test_watchdog_fires_within_configured_timeout(self, sim):
+        nic = failover_nic(sim)
+        period, timeout = 2 * US, 4 * US
+        monitor = attach_health_monitor(
+            nic, period_ps=period, timeout_ps=timeout)
+        monitor.start()
+        crash_at = 10 * US
+        FaultInjector(
+            nic, FaultPlan().crash_engine(crash_at, "ipsec")
+        ).arm()
+        sim.run(until_ps=60 * US)
+        monitor.stop()
+        sim.run()
+        assert monitor.failed_at.keys() == {"ipsec"}
+        detected = monitor.failed_at["ipsec"]
+        # Detection latency is bounded by the probe timeout plus one
+        # tick of watchdog-evaluation granularity.
+        assert crash_at < detected <= crash_at + timeout + period
+        assert monitor.watchdog_fires.value == 1
+        assert nic.failovers.value == 1
+        assert nic.mesh.in_flight == 0
+
+    def test_healthy_engines_keep_echoing(self, sim):
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        sim.run(until_ps=30 * US)
+        monitor.stop()
+        sim.run()
+        assert monitor.failed_at == {}
+        assert monitor.watchdog_fires.value == 0
+        assert monitor.echoes_received.value == monitor.heartbeats_sent.value
+        assert monitor.rtt.count > 0
+
+    def test_stalled_engine_detected_like_a_dead_one(self, sim):
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        FaultInjector(
+            nic, FaultPlan().stall_engine(5 * US, "ipsec")
+        ).arm()
+        sim.run(until_ps=40 * US)
+        monitor.stop()
+        nic.offload("ipsec").recover()  # release the parked probe
+        sim.run()
+        assert "ipsec" in monitor.failed_at
+        assert nic.mesh.in_flight == 0
+
+
+class TestCorruptionDetection:
+    def test_corrupted_frame_dropped_and_counted(self, sim):
+        """A link bit-flip in a checksummed byte is caught at the RMT
+        classification point and dropped with accounting."""
+        nic = failover_nic(sim, verify_checksums=True)
+        # Flip a bit inside the UDP payload (offset 50 > the 42-byte
+        # headers) of the next transfer on eth0's injection channel.
+        plan = FaultPlan(seed=5).corrupt_link(
+            0, "panic.mesh.inj_0_0", offset=50)
+        FaultInjector(nic, plan).arm()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(good_frame(payload=bytes(64), dscp=10)))
+        nic.inject(Packet(good_frame(payload=bytes(64), dscp=10)))
+        sim.run()
+        assert nic.corrupt_drops.value == 1
+        assert len(delivered) == 1  # only the clean frame survived
+        assert nic.stats()["faults"]["link_corruptions"] == 1
+        assert nic.mesh.in_flight == 0
+
+    def test_checksum_verification_off_by_default(self, sim, nic):
+        plan = FaultPlan(seed=5).corrupt_link(
+            0, "panic.mesh.inj_0_0", offset=50)
+        FaultInjector(nic, plan).arm()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(good_frame(payload=bytes(64))))
+        sim.run()
+        # Without verify_checksums the mangled frame flows through.
+        assert nic.corrupt_drops.value == 0
+        assert len(delivered) == 1
+
+    def test_dropped_flit_leaks_a_credit(self, sim, nic):
+        plan = FaultPlan().drop_on_link(0, "panic.mesh.inj_0_0")
+        FaultInjector(nic, plan).arm()
+        nic.inject(Packet(good_frame()))
+        sim.run()
+        channel = nic.mesh.channel("panic.mesh.inj_0_0")
+        assert channel.dropped_flits.value == 1
+        assert channel.leaked_credits.value == 1
+        assert channel.credit_deficit == 1
+        assert "leaked" in nic.mesh.stuck_report()
+
+    def test_pifo_rank_corruption_counted(self, sim, nic):
+        from repro.sim.rng import SeededRng
+
+        ipsec = nic.offload("ipsec")
+        ipsec.fail("stall")  # hold packets in the queue
+        nic.control.route_dscp(10, ["ipsec"])
+        for _ in range(5):
+            nic.inject(Packet(good_frame(dscp=10)))
+        sim.run()
+        assert ipsec.queue.corrupt_ranks(SeededRng(1)) == 5
+        assert ipsec.queue.rank_corruptions.value == 5
+        ipsec.recover()
+        sim.run()
+        assert nic.mesh.in_flight == 0
+
+
+class TestFaultPlan:
+    def test_events_are_time_sorted(self):
+        plan = (FaultPlan()
+                .crash_engine(30 * US, "ipsec")
+                .corrupt_link(10 * US, "ch")
+                .recover_engine(50 * US, "ipsec"))
+        assert [e.kind for e in plan.events()] == [
+            "link_corrupt", "crash", "recover"]
+        assert len(plan) == 3
+        assert "crash ipsec" in plan.describe()
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan().crash_engine(-1, "ipsec")
+        with pytest.raises(ValueError):
+            FaultPlan().slow_engine(0, "ipsec", factor=0)
+        with pytest.raises(ValueError):
+            FaultPlan().corrupt_link(0, "ch", bits=0)
+
+    def test_unknown_target_fails_loudly(self, sim, nic):
+        FaultInjector(nic, FaultPlan().crash_engine(0, "nope")).arm()
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_arming_twice_is_an_error(self, sim, nic):
+        injector = FaultInjector(nic, FaultPlan())
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_slow_and_recover(self, sim, nic):
+        FaultInjector(nic, (
+            FaultPlan()
+            .slow_engine(0, "ipsec", factor=8.0)
+            .recover_engine(20 * US, "ipsec")
+        )).arm()
+        sim.run()
+        assert nic.offload("ipsec").slowdown == 1.0
+
+
+class TestDeadlockDiagnostics:
+    def test_exhausted_budget_raises_with_pending_summary(self, sim):
+        from repro.sim.kernel import DeadlockError
+
+        def forever():
+            sim.schedule(1000, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(DeadlockError, match="forever"):
+            sim.run(max_events=10, on_max_events="raise")
+
+    def test_exhausted_budget_returns_quietly_by_default(self, sim):
+        def forever():
+            sim.schedule(1000, forever)
+
+        sim.schedule(0, forever)
+        assert sim.run(max_events=10) == 10
+
+    def test_quiesced_mesh_with_stuck_message_is_named(self, sim):
+        from repro.noc import Endpoint, Mesh, MeshConfig
+        from repro.noc.mesh import MeshStuckError
+
+        class Refusing(Endpoint):
+            def try_receive(self, message):
+                return False
+
+        mesh = Mesh(sim, MeshConfig(width=2, height=1))
+
+        class Source(Endpoint):
+            def receive(self, message):
+                pass
+
+        port = mesh.bind(Source(), 0, 0)
+        mesh.bind(Refusing(), 1, 0)
+        port.send(Packet(b"x" * 16), mesh.address_of(1, 0))
+        sim.run()
+        with pytest.raises(MeshStuckError) as excinfo:
+            mesh.assert_drained()
+        report = str(excinfo.value)
+        assert "1 messages in flight" in report
+        assert "router" in report
+
+    def test_drained_mesh_passes(self, sim, nic):
+        nic.inject(Packet(good_frame()))
+        sim.run()
+        nic.mesh.assert_drained()
+        assert "fully drained" in nic.mesh.stuck_report()
+
+
+class TestFullFaultRun:
+    def test_fault_run_leaves_mesh_drained(self, sim):
+        """The ISSUE acceptance check: a run combining every fault kind
+        ends with 0 in-flight messages."""
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        plan = (FaultPlan(seed=11)
+                .slow_engine(5 * US, "compression", factor=4.0)
+                .corrupt_link(8 * US, "panic.mesh.inj_0_0")
+                .crash_engine(20 * US, "ipsec")
+                .corrupt_pifo(25 * US, "ipsec1")
+                .recover_engine(60 * US, "compression"))
+        FaultInjector(nic, plan).arm()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+
+        def inject(i=0):
+            if i >= 100:
+                return
+            nic.inject(Packet(good_frame(payload=bytes(64), dscp=10)))
+            sim.schedule(500_000, inject, i + 1)
+
+        inject()
+        sim.run(until_ps=150 * US)
+        monitor.stop()
+        sim.run()
+        assert nic.mesh.in_flight == 0
+        assert nic.failovers.value == 1
+        assert delivered  # traffic kept flowing through the faults
+        stats = nic.stats()
+        assert stats["faults"]["failed_engines"] == 1
+        assert stats["faults"]["link_corruptions"] == 1
+
+    def test_identical_plan_and_seed_reproduce_identical_stats(self):
+        def run():
+            sim = Simulator()
+            nic = failover_nic(sim)
+            monitor = attach_health_monitor(
+                nic, period_ps=2 * US, timeout_ps=4 * US)
+            monitor.start()
+            plan = (FaultPlan(seed=9)
+                    .crash_engine(15 * US, "ipsec")
+                    .corrupt_link(3 * US, "panic.mesh.inj_0_0"))
+            FaultInjector(nic, plan).arm()
+            for i in range(40):
+                sim.schedule_at(i * 400_000, nic.inject,
+                                Packet(good_frame(payload=bytes(64), dscp=10)))
+            sim.run(until_ps=80 * US)
+            monitor.stop()
+            sim.run()
+            return nic.stats()
+
+        assert run() == run()
