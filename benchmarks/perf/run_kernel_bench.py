@@ -1,0 +1,156 @@
+"""Wall-clock perf harness for the simulation kernel fast path.
+
+Runs the canonical workloads (see :mod:`workloads`) twice each -- fast
+path off (the per-hop reference slow path) and on (kernel fast lanes +
+cut-through ExpressFlights) -- and writes ``BENCH_kernel.json``.
+
+Metrics per workload
+--------------------
+``speedup_wall``
+    slow wall-clock / fast wall-clock, best-of-``--repeats`` each side.
+``events_per_sec``
+    **Normalized** events/sec: *reference* (slow-path) event count
+    divided by *fast-path* wall time.  The fast path deliberately fires
+    fewer Python-level events for the same simulated work, so dividing
+    its own (smaller) event count by its wall time would understate the
+    win; normalizing to the reference count makes events/sec a pure
+    wall-clock speed metric on a fixed workload, comparable across
+    kernels.  ``events_per_sec_raw`` (fast events / fast wall) is also
+    recorded.
+``sim_gbps_per_wall_sec``
+    Simulated gigabits delivered to host software per wall-clock second
+    of fast-path simulation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_kernel_bench.py \
+        --out BENCH_kernel.json [--workloads a,b] [--frames N] \
+        [--repeats K] [--floor benchmarks/perf/floor.json]
+
+``--floor`` compares each workload's ``events_per_sec`` against a
+checked-in floor and exits non-zero on a regression beyond
+``--tolerance`` (default 0.30, i.e. fail below 70% of the floor).  The
+floor is deliberately conservative (set well under developer-laptop
+numbers) so slow CI runners don't flap; the 30% tolerance then guards
+against order-of-magnitude regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Optional
+
+from workloads import WORKLOADS
+
+
+def measure(name: str, fast_path: bool, seed: int, frames: Optional[int],
+            repeats: int) -> dict:
+    """Best-of-``repeats`` run of one workload (determinism makes the
+    minimum the right statistic: all variance is OS noise)."""
+    kwargs = {"fast_path": fast_path, "seed": seed}
+    if frames is not None:
+        kwargs["frames"] = frames
+    best = None
+    for _ in range(repeats):
+        result = WORKLOADS[name](**kwargs)
+        if best is None or result["wall_seconds"] < best["wall_seconds"]:
+            best = result
+    return best
+
+
+def bench_workload(name: str, seed: int, frames: Optional[int],
+                   repeats: int) -> dict:
+    slow = measure(name, False, seed, frames, repeats)
+    fast = measure(name, True, seed, frames, repeats)
+    if (slow["sim_ps"], slow["deliveries"], slow["bits_delivered"]) != (
+            fast["sim_ps"], fast["deliveries"], fast["bits_delivered"]):
+        raise AssertionError(
+            f"{name}: fast/slow simulated results diverged -- "
+            "run tests/test_fast_path_equivalence.py"
+        )
+    fast_wall = fast["wall_seconds"]
+    return {
+        "seed": seed,
+        "fast": fast,
+        "slow": slow,
+        "speedup_wall": round(slow["wall_seconds"] / fast_wall, 3),
+        "events_per_sec": round(slow["events_fired"] / fast_wall),
+        "events_per_sec_raw": round(fast["events_fired"] / fast_wall),
+        "sim_gbps_per_wall_sec": round(
+            fast["bits_delivered"] / 1e9 / fast_wall, 3),
+    }
+
+
+def check_floor(results: dict, floor_path: str, tolerance: float) -> int:
+    with open(floor_path) as fh:
+        floor = json.load(fh)
+    failures = 0
+    for name, bounds in floor.get("events_per_sec", {}).items():
+        if name not in results:
+            continue
+        got = results[name]["events_per_sec"]
+        allowed = bounds * (1.0 - tolerance)
+        status = "ok" if got >= allowed else "REGRESSION"
+        print(f"floor check {name}: {got:,.0f} events/s vs floor "
+              f"{bounds:,.0f} (min allowed {allowed:,.0f}) -> {status}")
+        if got < allowed:
+            failures += 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_kernel.json")
+    parser.add_argument("--workloads", default="all",
+                        help="comma-separated subset of: "
+                             + ",".join(WORKLOADS))
+    parser.add_argument("--frames", type=int, default=None,
+                        help="override per-workload frame count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--floor", default=None,
+                        help="floor JSON to regress events/sec against")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    names = (list(WORKLOADS) if args.workloads == "all"
+             else [n.strip() for n in args.workloads.split(",") if n.strip()])
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workloads: {unknown}")
+
+    results = {}
+    for name in names:
+        results[name] = bench_workload(
+            name, args.seed, args.frames, args.repeats)
+        r = results[name]
+        print(f"{name}: {r['speedup_wall']}x wall speedup, "
+              f"{r['events_per_sec']:,} events/s (normalized), "
+              f"{r['sim_gbps_per_wall_sec']} sim-Gb per wall-second")
+
+    payload = {
+        "bench": "kernel_fast_path",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "workloads": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.floor:
+        failures = check_floor(results, args.floor, args.tolerance)
+        if failures:
+            print(f"{failures} workload(s) under the perf floor",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

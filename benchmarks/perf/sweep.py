@@ -1,0 +1,94 @@
+"""Multi-seed, multi-config perf sweep on all cores.
+
+Fans every (workload, seed, fast_path) combination out over a
+``concurrent.futures.ProcessPoolExecutor`` -- each combination is an
+independent deterministic simulation, so process-level parallelism is
+free -- and writes one aggregated JSON with per-combination wall times
+plus per-workload speedup summaries across seeds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/sweep.py \
+        --seeds 1,2,3 [--workloads a,b] [--frames N] [--jobs 8] \
+        [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+from workloads import WORKLOADS
+
+
+def _run_combo(combo):
+    """Worker: one (workload, seed, fast_path, frames) simulation."""
+    name, seed, fast_path, frames = combo
+    kwargs = {"fast_path": fast_path, "seed": seed}
+    if frames is not None:
+        kwargs["frames"] = frames
+    result = WORKLOADS[name](**kwargs)
+    return {"workload": name, "seed": seed, "fast_path": fast_path, **result}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--seeds", default="1,2,3")
+    parser.add_argument("--workloads", default="all")
+    parser.add_argument("--frames", type=int, default=None)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count())
+    args = parser.parse_args(argv)
+
+    names = (list(WORKLOADS) if args.workloads == "all"
+             else [n.strip() for n in args.workloads.split(",") if n.strip()])
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        parser.error(f"unknown workloads: {unknown}")
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    combos = [
+        (name, seed, fast_path, args.frames)
+        for name in names
+        for seed in seeds
+        for fast_path in (False, True)
+    ]
+    with ProcessPoolExecutor(max_workers=args.jobs) as pool:
+        runs = list(pool.map(_run_combo, combos))
+
+    summary = {}
+    for name in names:
+        speedups = []
+        for seed in seeds:
+            by_fast = {
+                r["fast_path"]: r for r in runs
+                if r["workload"] == name and r["seed"] == seed
+            }
+            speedups.append(
+                by_fast[False]["wall_seconds"] / by_fast[True]["wall_seconds"]
+            )
+        summary[name] = {
+            "seeds": seeds,
+            "speedup_wall_min": round(min(speedups), 3),
+            "speedup_wall_mean": round(sum(speedups) / len(speedups), 3),
+            "speedup_wall_max": round(max(speedups), 3),
+        }
+        print(f"{name}: speedup across seeds {seeds}: "
+              f"min {summary[name]['speedup_wall_min']}x / "
+              f"mean {summary[name]['speedup_wall_mean']}x / "
+              f"max {summary[name]['speedup_wall_max']}x")
+
+    with open(args.out, "w") as fh:
+        json.dump({"bench": "kernel_fast_path_sweep", "jobs": args.jobs,
+                   "runs": runs, "summary": summary},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,10 @@ class PanicConfig:
     channel_bits: int = 128
     freq_hz: float = 500 * MHZ
     noc_credits: int = 8
+    # Cut-through express transfers over idle NoC paths (repro.noc.express).
+    # Purely a simulator-speed optimisation: simulated timestamps, delivery
+    # order, and quiesced statistics are identical with it off.
+    fast_path: bool = True
 
     # Heavyweight RMT pipeline (section 4.2: F * P pps).
     rmt_pipelines: int = 2

@@ -60,7 +60,7 @@ class LocalLookupTable:
         self._rules[key] = next_addr
 
     def lookup(self, key) -> Optional[int]:
-        self.lookups.add()
+        self.lookups.value += 1
         hit = self._rules.get(key)
         return hit if hit is not None else self.default_next
 
@@ -126,6 +126,8 @@ class Engine(Component, Endpoint):
                 f"got {overflow!r}"
             )
         self.clock = Clock(freq_hz)
+        # The local-table lookup penalty never changes; precompute it.
+        self._lookup_ps = self.clock.cycles_to_ps(LOOKUP_CYCLES)
         self.queue: PifoQueue[NocMessage] = PifoQueue(f"{name}.queue", queue_capacity)
         self.lookup_table = LocalLookupTable()
         self.port = None  # type: ignore[assignment]  # set by bind_port
@@ -187,14 +189,11 @@ class Engine(Component, Endpoint):
             # message is lost, and counted.
             self.blackholed.add()
             return True
-        _rank, droppable = self._rank_of(message)
-        if (
-            self.overflow == "backpressure"
-            and self.queue.is_full
-            and not droppable
-        ):
-            self.rejected.add()
-            return False
+        if self.overflow == "backpressure" and self.queue.is_full:
+            _rank, droppable = self._rank_of(message)
+            if not droppable:
+                self.rejected.add()
+                return False
         self.receive(message)
         return True
 
@@ -230,11 +229,15 @@ class Engine(Component, Endpoint):
             message, _rank = self.queue.pop()
             freed_space = True
             self._busy_lanes += 1
-            enq = message.packet.meta.annotations.pop("enqueue_ps", self.now)
-            self.queue_latency.observe(enq, self.now)
-            delay = self.scaled_service_time_ps(message.packet)
-            delay += self._payload_buffer_delay(message.packet)
-            self.schedule(delay, self._finish, message, self.now)
+            now = self.now
+            enq = message.packet.meta.annotations.pop("enqueue_ps", now)
+            self.queue_latency.observe(enq, now)
+            delay = self.service_time_ps(message.packet)
+            if self.slowdown != 1.0:
+                delay = int(delay * self.slowdown)
+            if self.payload_buffer is not None:
+                delay += self._payload_buffer_delay(message.packet)
+            self.schedule(delay, self._finish, message, now)
         if freed_space and self.notify_space is not None:
             # A router may be holding refused messages for us.
             self.notify_space()
@@ -245,7 +248,7 @@ class Engine(Component, Endpoint):
             # The engine died while this message was in service.
             self.blackholed.add()
             return
-        self.processed.add()
+        self.processed.value += 1
         self.service_latency.observe(started_ps, self.now)
         packet = message.packet
         if self._echo_heartbeat(packet):
@@ -257,7 +260,7 @@ class Engine(Component, Endpoint):
         for out_packet, dest in outputs:
             if dest is None:
                 dest = self._route_by_chain(out_packet)
-                lookup_delay = self.clock.cycles_to_ps(LOOKUP_CYCLES)
+                lookup_delay = self._lookup_ps
             if dest is None:
                 self.terminal(out_packet)
             elif dest == self.address:

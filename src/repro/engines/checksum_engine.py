@@ -26,6 +26,45 @@ from repro.sim.kernel import Simulator
 from repro.sim.stats import Counter
 
 
+#: Memo of RX verification verdicts by frame bytes: ``None`` when the
+#: frame has no parseable Ethernet/IPv4 layer, else whether the IPv4 (and
+#: any non-zero UDP) checksum verified.  The verdict is a pure function of
+#: the bytes, and chained checksum engines verify the same frame
+#: repeatedly.  Bounded by wholesale clearing, like the parse memo.
+_RX_VERDICT_MEMO: dict = {}
+_RX_VERDICT_MAX = 256
+_MISSING = object()
+
+
+def _rx_verdict(data: bytes):
+    verdict = _RX_VERDICT_MEMO.get(data, _MISSING)
+    if verdict is not _MISSING:
+        return verdict
+    try:
+        _eth, rest = EthernetHeader.unpack(data)
+        ip_bytes = rest[: Ipv4Header.LENGTH]
+        ipv4, after_ip = Ipv4Header.unpack(rest)
+    except HeaderError:
+        verdict = None
+    else:
+        ok = verify_internet_checksum(ip_bytes)
+        if ok and ipv4.protocol == IP_PROTO_UDP:
+            try:
+                udp, _payload = UdpHeader.unpack(after_ip)
+            except HeaderError:
+                ok = False
+            else:
+                if udp.checksum != 0:
+                    datagram = after_ip[: udp.length]
+                    pseudo = ipv4.pseudo_header(udp.length)
+                    ok = verify_internet_checksum(pseudo + datagram)
+        verdict = ok
+    if len(_RX_VERDICT_MEMO) >= _RX_VERDICT_MAX:
+        _RX_VERDICT_MEMO.clear()
+    _RX_VERDICT_MEMO[bytes(data)] = verdict
+    return verdict
+
+
 class ChecksumEngine(Engine):
     """Verify (RX) or regenerate (TX) IPv4/UDP checksums."""
 
@@ -52,35 +91,25 @@ class ChecksumEngine(Engine):
         return self.clock.cycles_to_ps(cycles)
 
     def handle(self, packet: Packet) -> List[EngineOutput]:
-        try:
-            eth, rest = EthernetHeader.unpack(packet.data)
-            ip_bytes = rest[: Ipv4Header.LENGTH]
-            ipv4, after_ip = Ipv4Header.unpack(rest)
-        except HeaderError:
-            return [(packet, None)]
         if packet.meta.direction == Direction.TX:
-            return [(self._regenerate(packet, eth, ipv4, after_ip), None)]
-        return [(self._verify(packet, ip_bytes, ipv4, after_ip), None)]
-
-    def _verify(self, packet: Packet, ip_bytes: bytes, ipv4: Ipv4Header, after_ip: bytes) -> Packet:
-        ip_ok = verify_internet_checksum(ip_bytes)
-        udp_ok = True
-        if ipv4.protocol == IP_PROTO_UDP:
             try:
-                udp, payload = UdpHeader.unpack(after_ip)
+                eth, rest = EthernetHeader.unpack(packet.data)
+                ipv4, after_ip = Ipv4Header.unpack(rest)
             except HeaderError:
-                udp_ok = False
-            else:
-                if udp.checksum != 0:
-                    datagram = after_ip[: udp.length]
-                    pseudo = ipv4.pseudo_header(udp.length)
-                    udp_ok = verify_internet_checksum(pseudo + datagram)
-        ok = ip_ok and udp_ok
+                return [(packet, None)]
+            return [(self._regenerate(packet, eth, ipv4, after_ip), None)]
+        return [(self._verify(packet), None)]
+
+    def _verify(self, packet: Packet) -> Packet:
+        ok = _rx_verdict(packet.data)
+        if ok is None:
+            # Unparseable: nothing to verify, pass through unannotated.
+            return packet
         packet.meta.annotations["csum_ok"] = ok
         if ok:
-            self.verified.add()
+            self.verified.value += 1
         else:
-            self.bad_checksums.add()
+            self.bad_checksums.value += 1
         return packet
 
     def _regenerate(self, packet: Packet, eth: EthernetHeader, ipv4: Ipv4Header, after_ip: bytes) -> Packet:

@@ -9,6 +9,7 @@ dropping packets that hit a blocklist pattern.
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -35,6 +36,19 @@ class AhoCorasick:
         for index, pattern in enumerate(self._patterns):
             self._insert(pattern, index)
         self._build_failure_links()
+        # Scan accelerators: per-state output tuples (avoids set iteration
+        # on the no-match path), and a compiled character class of the
+        # root's transition bytes -- while in the root state the scan can
+        # jump straight to the next byte any pattern starts with.
+        self._out: List[Tuple[int, ...]] = [tuple(s) for s in self._output]
+        self._root_skip = (
+            re.compile(
+                b"[" + b"".join(
+                    re.escape(bytes([b])) for b in self._goto[0]
+                ) + b"]"
+            )
+            if self._goto[0] else None
+        )
 
     def _insert(self, pattern: bytes, index: int) -> None:
         state = 0
@@ -70,12 +84,29 @@ class AhoCorasick:
         """Return ``(end_offset, pattern_index)`` for every match."""
         matches = []
         state = 0
-        for offset, byte in enumerate(data):
-            while state and byte not in self._goto[state]:
-                state = self._fail[state]
-            state = self._goto[state].get(byte, 0)
-            for index in self._output[state]:
-                matches.append((offset + 1, index))
+        goto = self._goto
+        fail = self._fail
+        out = self._out
+        skip = self._root_skip
+        length = len(data)
+        offset = 0
+        while offset < length:
+            if state == 0 and skip is not None:
+                # Root state: no partial match pending, so bytes outside
+                # every pattern's first-byte set cannot change anything.
+                found = skip.search(data, offset)
+                if found is None:
+                    break
+                offset = found.start()
+            byte = data[offset]
+            while state and byte not in goto[state]:
+                state = fail[state]
+            state = goto[state].get(byte, 0)
+            hits = out[state]
+            if hits:
+                for index in hits:
+                    matches.append((offset + 1, index))
+            offset += 1
         return matches
 
     @property

@@ -25,6 +25,7 @@ from repro.sim.kernel import Component, Simulator
 from repro.sim.stats import Counter
 
 if TYPE_CHECKING:
+    from repro.noc.express import ExpressFlight
     from repro.noc.message import NocMessage
 
 #: Per-hop router pipeline latency in cycles (paper section 3.1.2).
@@ -75,7 +76,22 @@ class Channel(Component):
         self._max_credits = credits
         self._pending: Deque["NocMessage"] = deque()
         self._busy_until = 0
+        self._busy_accum_ps = 0
         self._transfer_in_progress = False
+        self._ser_cache: dict = {}
+        # Cut-through fast path (see repro.noc.express): the fabric wires
+        # `_express_route` on channels whose receiver is a router; while a
+        # flight holds this channel, `_express_flight` marks the
+        # reservation so interference de-speculates before proceeding.
+        self._express_route: Optional[
+            Callable[["NocMessage", "Channel"], bool]
+        ] = None
+        self._express_flight: Optional["ExpressFlight"] = None
+        # Static route cache for express walks launched here: destination
+        # address -> (channels, routers, final_router), or None when the
+        # route cannot be expressed (unroutable / single hop).  Topology
+        # never changes after build, so entries are computed once.
+        self._express_paths: dict = {}
         # Pending injected faults (see inject_corruption / inject_drop):
         # each entry applies to one future transfer completion.
         self._fault_corruptions: Deque[tuple] = deque()
@@ -94,6 +110,11 @@ class Channel(Component):
 
     def submit(self, message: "NocMessage") -> None:
         """Queue a message for transmission (never drops)."""
+        flight = self._express_flight
+        if flight is not None:
+            # New traffic on a reserved channel: de-speculate the express
+            # flight first so this message sees exact slow-path state.
+            flight.materialize()
         self._pending.append(message)
         self._try_start()
 
@@ -149,6 +170,9 @@ class Channel(Component):
         message still delivers -- detection is the receiver's job, at
         checksum/ICV verification points.
         """
+        flight = self._express_flight
+        if flight is not None:
+            flight.materialize()
         self._fault_corruptions.append((rng, bits, offset))
 
     def inject_drop(self, leak_credit: bool = True) -> None:
@@ -158,6 +182,9 @@ class Channel(Component):
         returned, permanently shrinking the channel's pool -- the classic
         leak that eventually wedges a lossless mesh.
         """
+        flight = self._express_flight
+        if flight is not None:
+            flight.materialize()
         self._fault_drops.append(leak_credit)
 
     # ------------------------------------------------------------------
@@ -165,8 +192,14 @@ class Channel(Component):
     # ------------------------------------------------------------------
 
     def _serialization_ps(self, bits: int) -> int:
+        cached = self._ser_cache.get(bits)
+        if cached is not None:
+            return cached
         cycles = -(-bits // self.width_bits)  # ceil division
-        return self.clock.cycles_to_ps(cycles + ROUTER_HOP_CYCLES)
+        result = self.clock.cycles_to_ps(cycles + ROUTER_HOP_CYCLES)
+        if len(self._ser_cache) < 512:
+            self._ser_cache[bits] = result
+        return result
 
     def _try_start(self) -> None:
         if self._transfer_in_progress or not self._pending:
@@ -174,15 +207,29 @@ class Channel(Component):
         if self._credits <= 0:
             self.stall_events.add()
             return
+        if (self._express_route is not None
+                and len(self._pending) == 1
+                and self._express_flight is None
+                and not self._fault_drops
+                and not self._fault_corruptions
+                and self._express_route(self._pending[0], self)):
+            # The whole route was idle: the message now travels as an
+            # ExpressFlight; the sender-side slot is free, as below.
+            self._pending.popleft()
+            if self.on_drain is not None:
+                self.on_drain()
+            return
         message = self._pending.popleft()
+        bits = message.bits
         self._credits -= 1
         self._transfer_in_progress = True
         start = max(self.now, self._busy_until)
-        duration = self._serialization_ps(message.bits)
+        duration = self._serialization_ps(bits)
         self._busy_until = start + duration
+        self._busy_accum_ps += duration
         self.schedule(self._busy_until - self.now, self._complete, message)
-        self.sent.add()
-        self.bits_sent.add(message.bits)
+        self.sent.value += 1
+        self.bits_sent.value += bits
         if self.on_drain is not None:
             self.on_drain()
 
@@ -218,11 +265,52 @@ class Channel(Component):
         message.packet.data = bytes(data)
         self.corrupted.add()
 
+    # ------------------------------------------------------------------
+    # Express (cut-through) bookkeeping -- see repro.noc.express
+    # ------------------------------------------------------------------
+
+    def _account_express_hop(self, bits: int, start: int, end: int) -> None:
+        """Retroactively apply a collapsed hop's statistics.
+
+        The hop occupied the wires during ``[start, end]``; credits were
+        consumed at ``start`` and returned at ``end`` by the downstream
+        router's forward, so their net effect is zero.
+        """
+        self.sent.value += 1
+        self.bits_sent.value += bits
+        self._busy_accum_ps += end - start
+        if end > self._busy_until:
+            self._busy_until = end
+
+    def _materialize_transfer(self, message: "NocMessage", start: int,
+                              end: int) -> None:
+        """Reconstruct an in-progress slow-path transfer for ``message``.
+
+        Called by a de-speculating express flight for the hop whose
+        serialization window covers the current time: the channel becomes
+        busy until ``end`` with a genuine ``_complete`` event, exactly as
+        if the transfer had started at ``start`` on the slow path.
+        """
+        self._transfer_in_progress = True
+        self._credits -= 1
+        self._busy_until = end
+        self._busy_accum_ps += end - start
+        self.sent.add()
+        self.bits_sent.add(message.bits)
+        self.sim.schedule_at(end, self._complete, message)
+
     def utilization(self, elapsed_ps: int) -> float:
-        """Fraction of ``elapsed_ps`` the wires spent busy."""
+        """Fraction of ``[0, elapsed_ps]`` the wires spent busy.
+
+        Serialization time is accumulated per transfer (including
+        collapsed express hops); any portion of an in-progress transfer
+        beyond ``elapsed_ps`` is excluded.
+        """
         if elapsed_ps <= 0:
             return 0.0
-        busy = min(self._busy_until, elapsed_ps)
-        ser_bits = self.bits_sent.value
-        ideal = self.clock.cycles_to_ps(-(-ser_bits // self.width_bits))
-        return min(1.0, ideal / elapsed_ps) if elapsed_ps else 0.0
+        busy = self._busy_accum_ps
+        if self._busy_until > elapsed_ps:
+            busy -= self._busy_until - elapsed_ps
+        if busy <= 0:
+            return 0.0
+        return min(1.0, busy / elapsed_ps)

@@ -11,7 +11,7 @@ from repro.packet.packet import Packet
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class NocMessage:
     """A packet in flight between two engines.
 

@@ -36,6 +36,17 @@ class MacAddress:
         else:
             raise TypeError(f"cannot build MacAddress from {type(value).__name__}")
 
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "MacAddress":
+        """Length-checked wire bytes -> address, skipping re-validation.
+
+        For parsers that have already sliced exactly 6 bytes; a 6-byte
+        big-endian integer cannot be out of range.
+        """
+        self = object.__new__(cls)
+        self.value = int.from_bytes(raw, "big")
+        return self
+
     def to_bytes(self) -> bytes:
         return self.value.to_bytes(6, "big")
 
@@ -97,6 +108,17 @@ class IPv4Address:
             self.value = acc
         else:
             raise TypeError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "IPv4Address":
+        """Length-checked wire bytes -> address, skipping re-validation.
+
+        For parsers that have already sliced exactly 4 bytes; a 4-byte
+        big-endian integer cannot be out of range.
+        """
+        self = object.__new__(cls)
+        self.value = int.from_bytes(raw, "big")
+        return self
 
     def to_bytes(self) -> bytes:
         return self.value.to_bytes(4, "big")

@@ -54,10 +54,14 @@ class EthernetHeader:
     def unpack(cls, data: bytes) -> Tuple["EthernetHeader", bytes]:
         if len(data) < cls.LENGTH:
             raise HeaderError(f"truncated Ethernet header: {len(data)} bytes")
-        dst = MacAddress(data[0:6])
-        src = MacAddress(data[6:12])
-        (ethertype,) = struct.unpack("!H", data[12:14])
-        return cls(dst, src, ethertype), data[cls.LENGTH :]
+        # Wire values cannot violate __post_init__'s range checks (two
+        # bytes are always a valid ethertype), so construction bypasses
+        # the dataclass validation on this hot parse path.
+        header = object.__new__(cls)
+        header.dst = MacAddress.from_wire(data[0:6])
+        header.src = MacAddress.from_wire(data[6:12])
+        header.ethertype = (data[12] << 8) | data[13]
+        return header, data[cls.LENGTH :]
 
 
 @dataclass
@@ -132,17 +136,20 @@ class Ipv4Header:
             raise HeaderError(f"not an IPv4 packet (version {version})")
         if ihl != 5:
             raise HeaderError(f"IPv4 options unsupported (IHL {ihl})")
-        header = cls(
-            src=IPv4Address(src),
-            dst=IPv4Address(dst),
-            protocol=protocol,
-            total_length=total_length,
-            ttl=ttl,
-            dscp=tos >> 2,
-            ecn=tos & 0x3,
-            identification=identification,
-            flags_fragment=flags_fragment,
-        )
+        # Of __post_init__'s checks, only total_length can fail on wire
+        # input (a !H can be < 20); replicate it and bypass the rest.
+        if total_length < cls.LENGTH:
+            raise HeaderError(f"total_length out of range: {total_length}")
+        header = object.__new__(cls)
+        header.src = IPv4Address.from_wire(src)
+        header.dst = IPv4Address.from_wire(dst)
+        header.protocol = protocol
+        header.total_length = total_length
+        header.ttl = ttl
+        header.dscp = tos >> 2
+        header.ecn = tos & 0x3
+        header.identification = identification
+        header.flags_fragment = flags_fragment
         return header, data[cls.LENGTH :]
 
     def pseudo_header(self, l4_length: int) -> bytes:
@@ -191,7 +198,16 @@ class UdpHeader:
         if len(data) < cls.LENGTH:
             raise HeaderError(f"truncated UDP header: {len(data)} bytes")
         src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
-        return cls(src_port, dst_port, length, checksum), data[8:]
+        # Ports from a !H are always in range; only the length check of
+        # __post_init__ can fail on wire input.
+        if length < cls.LENGTH:
+            raise HeaderError(f"UDP length out of range: {length}")
+        header = object.__new__(cls)
+        header.src_port = src_port
+        header.dst_port = dst_port
+        header.length = length
+        header.checksum = checksum
+        return header, data[8:]
 
 
 @dataclass

@@ -101,22 +101,26 @@ class ParseGraph:
 
 def extract_ethernet(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
     eth, rest = EthernetHeader.unpack(data)
-    phv.set("eth.dst", eth.dst.value)
-    phv.set("eth.src", eth.src.value)
-    phv.set("eth.type", eth.ethertype)
+    # The hot extractors write the field store directly: every value here
+    # is an int by construction, so Phv.set's type check adds nothing.
+    fields = phv._fields
+    fields["eth.dst"] = eth.dst.value
+    fields["eth.src"] = eth.src.value
+    fields["eth.type"] = eth.ethertype
     return rest, eth.ethertype
 
 
 def extract_ipv4(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
     ipv4, rest = Ipv4Header.unpack(data)
-    phv.set("ipv4.src", ipv4.src.value)
-    phv.set("ipv4.dst", ipv4.dst.value)
-    phv.set("ipv4.proto", ipv4.protocol)
-    phv.set("ipv4.ttl", ipv4.ttl)
-    phv.set("ipv4.dscp", ipv4.dscp)
-    phv.set("ipv4.ecn", ipv4.ecn)
-    phv.set("ipv4.len", ipv4.total_length)
-    phv.set("ipv4.id", ipv4.identification)
+    fields = phv._fields
+    fields["ipv4.src"] = ipv4.src.value
+    fields["ipv4.dst"] = ipv4.dst.value
+    fields["ipv4.proto"] = ipv4.protocol
+    fields["ipv4.ttl"] = ipv4.ttl
+    fields["ipv4.dscp"] = ipv4.dscp
+    fields["ipv4.ecn"] = ipv4.ecn
+    fields["ipv4.len"] = ipv4.total_length
+    fields["ipv4.id"] = ipv4.identification
     # Trim MAC padding using the IP length, like a real deparser would.
     l3_payload = ipv4.total_length - Ipv4Header.LENGTH
     if 0 <= l3_payload <= len(rest):
@@ -126,9 +130,10 @@ def extract_ipv4(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
 
 def extract_udp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
     udp, rest = UdpHeader.unpack(data)
-    phv.set("udp.src_port", udp.src_port)
-    phv.set("udp.dst_port", udp.dst_port)
-    phv.set("udp.len", udp.length)
+    fields = phv._fields
+    fields["udp.src_port"] = udp.src_port
+    fields["udp.dst_port"] = udp.dst_port
+    fields["udp.len"] = udp.length
     select = KV_UDP_PORT if KV_UDP_PORT in (udp.src_port, udp.dst_port) else 0
     return rest, select
 

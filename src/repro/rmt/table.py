@@ -162,24 +162,29 @@ class Table:
 
         A PHV missing any key field is a miss (invalid headers cannot
         match), which falls through to the default action.
+
+        The returned params dict is the entry's *live* parameter store --
+        treat it as read-only.  (The pipeline ``**``-unpacks it into the
+        action call, which copies; returning a defensive copy here would
+        mean two copies per lookup on the per-packet hot path.)
         """
         try:
             values = tuple(phv.get(key.field) for key in self.keys)
         except PhvError:
-            return self.default_action, dict(self.default_params), False
+            return self.default_action, self.default_params, False
 
         if self._all_exact:
             entry = self._exact_index.get(values)
             if entry is not None:
                 entry.hits += 1
-                return entry.action, dict(entry.params), True
-            return self.default_action, dict(self.default_params), False
+                return entry.action, entry.params, True
+            return self.default_action, self.default_params, False
 
         for entry in self._scan_entries:
             if self._entry_matches(entry, values):
                 entry.hits += 1
-                return entry.action, dict(entry.params), True
-        return self.default_action, dict(self.default_params), False
+                return entry.action, entry.params, True
+        return self.default_action, self.default_params, False
 
     def _entry_matches(self, entry: TableEntry, values: Tuple[Any, ...]) -> bool:
         for key, pattern, value in zip(self.keys, entry.patterns, values):

@@ -76,7 +76,8 @@ class PifoQueue(Generic[T]):
         * else raises :class:`PifoFullError` -- lossless messages must not
           vanish, the producer has to stall.
         """
-        if self.is_full:
+        heap = self._heap
+        if self.capacity is not None and len(heap) >= self.capacity:
             if not self._evict_worse_droppable(rank):
                 if droppable:
                     self.dropped.add()
@@ -85,9 +86,10 @@ class PifoQueue(Generic[T]):
                     f"PIFO {self.name!r} full ({self.capacity}) and no "
                     "droppable item to evict"
                 )
-        heapq.heappush(self._heap, (rank, next(self._seq), droppable, item))
-        self.pushed.add()
-        self.max_occupancy = max(self.max_occupancy, len(self._heap))
+        heapq.heappush(heap, (rank, next(self._seq), droppable, item))
+        self.pushed.value += 1
+        if len(heap) > self.max_occupancy:
+            self.max_occupancy = len(heap)
         return True
 
     def _evict_worse_droppable(self, incoming_rank: int) -> bool:

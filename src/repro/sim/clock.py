@@ -35,7 +35,11 @@ class Clock:
         default throughout the library.
     """
 
-    __slots__ = ("freq_hz", "period_ps")
+    __slots__ = ("freq_hz", "period_ps", "_cycles_memo")
+
+    #: Bound on the per-clock conversion memo; hot callers use a small set
+    #: of cycle counts (1, per-hop serialization, fixed engine costs).
+    _MEMO_MAX = 1024
 
     def __init__(self, freq_hz: float = 500 * MHZ):
         if freq_hz <= 0:
@@ -45,18 +49,27 @@ class Clock:
         if period < 1:
             raise ValueError(f"clock frequency {freq_hz} Hz is above 1 THz")
         self.period_ps = int(round(period))
+        self._cycles_memo: dict = {}
 
     def cycles_to_ps(self, cycles: float) -> int:
         """Return the duration of ``cycles`` clock cycles in picoseconds.
 
         Fractional cycle counts are allowed (e.g. an analytically derived
         service time); the result is rounded up to a whole picosecond.
+        Results for common cycle counts are memoised per clock.
         """
+        memo = self._cycles_memo
+        cached = memo.get(cycles)
+        if cached is not None:
+            return cached
         if cycles < 0:
             raise ValueError(f"cycle count must be non-negative, got {cycles}")
         ps = cycles * self.period_ps
         ips = int(ps)
-        return ips if ips == ps else ips + 1
+        result = ips if ips == ps else ips + 1
+        if len(memo) < self._MEMO_MAX:
+            memo[cycles] = result
+        return result
 
     def ps_to_cycles(self, ps: int) -> int:
         """Return how many *whole* cycles elapse in ``ps`` picoseconds."""

@@ -46,6 +46,8 @@ class Histogram:
     is simpler and more accurate than approximate sketches.
     """
 
+    __slots__ = ("name", "_samples", "_sorted")
+
     def __init__(self, name: str = "histogram"):
         self.name = name
         self._samples: List[float] = []
@@ -159,6 +161,8 @@ class LatencyTracker(Histogram):
     interval; summary helpers convert to nanoseconds for readability.
     """
 
+    __slots__ = ()
+
     def observe(self, start_ps: int, end_ps: int) -> None:
         if end_ps < start_ps:
             raise ValueError(
@@ -179,6 +183,8 @@ class RateMeter:
     ``record(now_ps, amount)`` accumulates; ``rate_per_sec(now_ps)`` divides
     by elapsed simulated time since the meter was started (or reset).
     """
+
+    __slots__ = ("name", "start_ps", "total", "last_ps")
 
     def __init__(self, name: str = "rate", start_ps: int = 0):
         self.name = name

@@ -208,3 +208,43 @@ class TestNocMessage:
     def test_negative_address_rejected(self):
         with pytest.raises(ValueError):
             NocMessage(Packet(b""), dest_addr=-1, src_addr=0)
+
+
+class TestChannelUtilization:
+    """Channel.utilization must report the actual busy fraction."""
+
+    def _one_transfer(self, sim):
+        # 64 bytes on a 64-bit channel @ 500 MHz: busy for 18_000 ps.
+        ch = Channel(sim, "ch", 64, Clock(500 * MHZ), lambda m, c: None)
+        ch.submit(NocMessage(Packet(b"\x00" * 64), dest_addr=1, src_addr=0))
+        sim.run()
+        return ch
+
+    def test_zero_elapsed_is_zero(self, sim):
+        ch = Channel(sim, "ch", 64, Clock(500 * MHZ), lambda m, c: None)
+        assert ch.utilization(0) == 0.0
+        assert ch.utilization(-5) == 0.0
+
+    def test_idle_channel_is_zero(self, sim):
+        ch = Channel(sim, "ch", 64, Clock(500 * MHZ), lambda m, c: None)
+        assert ch.utilization(1_000_000) == 0.0
+
+    def test_busy_fraction(self, sim):
+        ch = self._one_transfer(sim)
+        assert ch.utilization(18_000) == 1.0
+        assert ch.utilization(36_000) == 0.5
+        assert ch.utilization(72_000) == 0.25
+
+    def test_in_progress_transfer_is_clipped(self, sim):
+        # Ask for utilization at a horizon inside the transfer window:
+        # only the portion up to the horizon may count.
+        ch = self._one_transfer(sim)
+        assert ch.utilization(9_000) == 1.0
+
+    def test_never_exceeds_one(self, sim):
+        ch = Channel(sim, "ch", 64, Clock(500 * MHZ), lambda m, c: None)
+        for _ in range(3):
+            ch.submit(NocMessage(Packet(b"\x00" * 64), dest_addr=1,
+                                 src_addr=0))
+        sim.run()
+        assert ch.utilization(1) <= 1.0
