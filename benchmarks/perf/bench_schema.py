@@ -1,0 +1,68 @@
+"""The stable on-disk schema for perf-harness results.
+
+Every ``BENCH_*.json`` this directory produces shares one envelope,
+version-tagged so CI and downstream tooling can parse it without
+guessing at per-harness layouts:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/2",
+      "bench": "<harness name>",
+      "generated": "<ISO-8601 UTC>",
+      "host": {"python": "...", "machine": "...", "cores": 8},
+      "params": {"...": "harness invocation parameters"},
+      "workloads": {"<name>": {"...": "full per-workload detail"}},
+      "series": [
+        {"workload": "<name>", "metric": "<metric>", "value": 1.23}
+      ]
+    }
+
+``workloads`` keeps each harness's full nested detail (free-form, may
+grow fields).  ``series`` is the stable part: a flat list of
+``(workload, metric, value)`` triples with numeric values only -- plot
+scripts and the CI floor check read *only* ``series`` and ``params``.
+Schema history: ``repro-bench/1`` was the tagless ad-hoc layout written
+before this module existed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from typing import Dict, List
+
+SCHEMA = "repro-bench/2"
+
+
+def envelope(bench: str, params: Dict, workloads: Dict,
+             series: List[Dict]) -> Dict:
+    """Assemble one schema-conforming result payload."""
+    for point in series:
+        if set(point) != {"workload", "metric", "value"}:
+            raise ValueError(f"malformed series point: {point}")
+        if not isinstance(point["value"], (int, float)):
+            raise ValueError(f"non-numeric series value: {point}")
+    return {
+        "schema": SCHEMA,
+        "bench": bench,
+        "generated": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cores": os.cpu_count(),
+        },
+        "params": params,
+        "workloads": workloads,
+        "series": series,
+    }
+
+
+def write_json(path: str, payload: Dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")

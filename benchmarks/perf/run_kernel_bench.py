@@ -33,16 +33,21 @@ checked-in floor and exits non-zero on a regression beyond
 floor is deliberately conservative (set well under developer-laptop
 numbers) so slow CI runners don't flap; the 30% tolerance then guards
 against order-of-magnitude regressions, not noise.
+
+Output follows the versioned ``repro-bench/2`` envelope (see
+:mod:`bench_schema`): full per-workload detail under ``workloads``, and
+the four metrics above additionally flattened into the stable
+``series`` list that plots and CI read.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 from typing import Optional
 
+from bench_schema import envelope, write_json
 from workloads import WORKLOADS
 
 
@@ -131,17 +136,20 @@ def main(argv=None) -> int:
               f"{r['events_per_sec']:,} events/s (normalized), "
               f"{r['sim_gbps_per_wall_sec']} sim-Gb per wall-second")
 
-    payload = {
-        "bench": "kernel_fast_path",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "repeats": args.repeats,
-        "workloads": results,
-    }
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"wrote {args.out}")
+    series = [
+        {"workload": name, "metric": metric, "value": results[name][metric]}
+        for name in results
+        for metric in ("speedup_wall", "events_per_sec",
+                       "events_per_sec_raw", "sim_gbps_per_wall_sec")
+    ]
+    payload = envelope(
+        bench="kernel_fast_path",
+        params={"repeats": args.repeats, "seed": args.seed,
+                "frames": args.frames, "workloads": names},
+        workloads=results,
+        series=series,
+    )
+    write_json(args.out, payload)
 
     if args.floor:
         failures = check_floor(results, args.floor, args.tolerance)

@@ -1,0 +1,165 @@
+"""Wall-clock perf harness for the sharded rack runner.
+
+Runs the 4-NIC all-pairs incast (see :mod:`repro.workloads.rack`) once
+monolithically and once sharded per requested worker count, asserts the
+sharded reports are bit-identical to the monolithic ones (the DESIGN.md
+section 10 contract), and writes ``BENCH_parallel.json`` in the stable
+``repro-bench/2`` envelope (see :mod:`bench_schema`).
+
+Series metrics per worker count ``w`` (workload key ``rack_incast_w{w}``)
+-------------------------------------------------------------------------
+``events_per_sec``
+    Total simulation events (identical across modes, asserted) divided
+    by that run's wall time.
+``speedup_wall``
+    Monolithic wall-clock / sharded wall-clock, best-of-``--repeats``
+    each side.  Genuine parallelism needs as many idle cores as
+    workers; on smaller machines the numbers are still written, just
+    not meaningful as speedups.
+``sync_rounds``
+    Conservative-window barrier rounds the sharded run took.
+
+The monolithic baseline is recorded as workload ``rack_incast_mono``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_parallel_bench.py \
+        --out BENCH_parallel.json [--workers 1,2,4] [--nics 4] \
+        [--frames 240] [--repeats 2] [--floor benchmarks/perf/floor.json]
+
+``--floor`` compares the *monolithic* ``events_per_sec`` against the
+checked-in ``parallel_events_per_sec`` floor and exits non-zero below
+``(1 - tolerance) * floor``.  The floor is single-process on purpose:
+speedup depends on the runner's core count, so gating on it would flap
+on small CI machines, while single-core event throughput only regresses
+when the code slows down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from bench_schema import envelope, write_json
+
+from repro.sim.clock import NS
+from repro.sim.shard import run_monolithic, run_sharded
+from repro.workloads.rack import rack_topology
+
+
+def _best(run, repeats):
+    best = None
+    for _ in range(repeats):
+        result = run()
+        if best is None or result.wall_seconds < best.wall_seconds:
+            best = result
+    return best
+
+
+def check_floor(mono_rate: float, floor_path: str, tolerance: float) -> int:
+    with open(floor_path) as fh:
+        floor = json.load(fh)
+    bounds = floor.get("parallel_events_per_sec", {}).get(
+        "rack_incast_mono")
+    if bounds is None:
+        print(f"no rack_incast_mono floor in {floor_path}; skipping")
+        return 0
+    allowed = bounds * (1.0 - tolerance)
+    status = "ok" if mono_rate >= allowed else "REGRESSION"
+    print(f"floor check rack_incast_mono: {mono_rate:,.0f} events/s vs "
+          f"floor {bounds:,.0f} (min allowed {allowed:,.0f}) -> {status}")
+    return 0 if mono_rate >= allowed else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts to shard over")
+    parser.add_argument("--nics", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=240)
+    parser.add_argument("--gap-ns", type=int, default=1000)
+    parser.add_argument("--prop-ns", type=int, default=8000,
+                        help="wire propagation = the sync lookahead; "
+                             "longer wires mean fewer barrier rounds")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--floor", default=None,
+                        help="floor JSON to regress events/sec against")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
+
+    topo = rack_topology(
+        nics=args.nics, frames=args.frames, gap_ps=args.gap_ns * NS,
+        propagation_ps=args.prop_ns * NS, seed=args.seed,
+    )
+    mono = _best(lambda: run_monolithic(topo), args.repeats)
+    mono_rate = mono.events_fired / mono.wall_seconds
+    print(f"monolithic: {mono.events_fired} events in "
+          f"{mono.wall_seconds:.3f}s ({mono_rate:,.0f} events/s)")
+
+    workloads = {
+        "rack_incast_mono": {
+            "mode": "monolithic",
+            "events_fired": mono.events_fired,
+            "wall_seconds": mono.wall_seconds,
+        },
+    }
+    series = [{"workload": "rack_incast_mono", "metric": "events_per_sec",
+               "value": round(mono_rate)}]
+    for workers in worker_counts:
+        sharded = _best(lambda: run_sharded(topo, workers=workers),
+                        args.repeats)
+        for name, report in mono.reports.items():
+            if sharded.reports[name] != report:
+                raise AssertionError(
+                    f"{workers}-worker run diverged on {name} -- "
+                    "run tests/test_shard_equivalence.py")
+        speedup = mono.wall_seconds / sharded.wall_seconds
+        rate = sharded.events_fired / sharded.wall_seconds
+        key = f"rack_incast_w{workers}"
+        print(f"{key}: {speedup:.2f}x wall speedup, {rate:,.0f} events/s, "
+              f"{sharded.rounds} sync rounds "
+              f"(lookahead {sharded.lookahead_ps / 1000:.0f}ns)")
+        workloads[key] = {
+            "mode": "sharded",
+            "workers": workers,
+            "events_fired": sharded.events_fired,
+            "wall_seconds": sharded.wall_seconds,
+            "rounds": sharded.rounds,
+            "lookahead_ps": sharded.lookahead_ps,
+        }
+        series += [
+            {"workload": key, "metric": "events_per_sec",
+             "value": round(rate)},
+            {"workload": key, "metric": "speedup_wall",
+             "value": round(speedup, 3)},
+            {"workload": key, "metric": "sync_rounds",
+             "value": sharded.rounds},
+        ]
+
+    payload = envelope(
+        bench="rack_shard_parallel",
+        params={
+            "nics": args.nics, "frames": args.frames,
+            "gap_ns": args.gap_ns, "prop_ns": args.prop_ns,
+            "seed": args.seed, "repeats": args.repeats,
+            "workers": worker_counts,
+        },
+        workloads=workloads,
+        series=series,
+    )
+    write_json(args.out, payload)
+
+    if args.floor:
+        if check_floor(mono_rate, args.floor, args.tolerance):
+            print("monolithic rack throughput under the perf floor",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

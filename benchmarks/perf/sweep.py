@@ -1,10 +1,11 @@
 """Multi-seed, multi-config perf sweep on all cores.
 
-Fans every (workload, seed, fast_path) combination out over a
-``concurrent.futures.ProcessPoolExecutor`` -- each combination is an
-independent deterministic simulation, so process-level parallelism is
-free -- and writes one aggregated JSON with per-combination wall times
-plus per-workload speedup summaries across seeds.
+Fans every (workload, seed, fast_path) combination out with
+:func:`repro.sim.shard.parallel_map` -- the same pipe-fed worker pool
+the sharded rack runner uses -- each combination being an independent
+deterministic simulation, and writes one aggregated JSON with
+per-combination wall times plus per-workload speedup summaries across
+seeds.
 
 Usage::
 
@@ -19,9 +20,10 @@ import argparse
 import json
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
 
 from workloads import WORKLOADS
+
+from repro.sim.shard import parallel_map
 
 
 def _run_combo(combo):
@@ -56,8 +58,7 @@ def main(argv=None) -> int:
         for seed in seeds
         for fast_path in (False, True)
     ]
-    with ProcessPoolExecutor(max_workers=args.jobs) as pool:
-        runs = list(pool.map(_run_combo, combos))
+    runs = parallel_map(_run_combo, combos, jobs=args.jobs)
 
     summary = {}
     for name in names:

@@ -7,7 +7,8 @@ Usage::
     python -m repro table3      # mesh bisection BW / chain length
     python -m repro demo        # the quickstart KV GET, end to end
     python -m repro faults      # crash-and-failover fault-tolerance demo
-    python -m repro all         # everything above
+    python -m repro rack        # sharded rack-scale run vs monolithic
+    python -m repro all         # everything above (except rack)
 
 The heavier experiments (HOL blocking, isolation, ablations) live in
 ``benchmarks/`` where pytest-benchmark records their runtimes.
@@ -142,12 +143,60 @@ def cmd_faults() -> None:
     print("mesh drained        : yes (0 messages in flight)")
 
 
+def cmd_rack(nics: int = 4, workers: int = 0, frames: int = 40,
+             gap_ns: int = 2000, prop_ns: int = 500,
+             pattern: str = "symmetric") -> None:
+    """Run one rack topology both monolithically and sharded across
+    worker processes, then print the equivalence verdict and speedup
+    (DESIGN.md section 10)."""
+    from repro.sim.clock import NS
+    from repro.sim.shard import run_monolithic, run_sharded
+    from repro.workloads.rack import rack_topology
+
+    workers = workers or min(4, nics)
+    topo = rack_topology(
+        nics=nics, frames=frames, gap_ps=gap_ns * NS,
+        propagation_ps=prop_ns * NS, pattern=pattern,
+    )
+    print(f"rack: {nics} NICs, all-pairs {pattern}, {frames} frames/flow, "
+          f"{prop_ns}ns wires")
+    mono = run_monolithic(topo)
+    sharded = run_sharded(topo, workers=workers)
+    rows = []
+    for result in (mono, sharded):
+        rate = result.events_fired / result.wall_seconds \
+            if result.wall_seconds else 0.0
+        rows.append([
+            result.mode, result.workers, result.events_fired,
+            f"{result.wall_seconds:.3f}s", f"{rate / 1e3:.0f}k ev/s",
+            result.rounds or "-",
+        ])
+    print(format_table(
+        ["Mode", "Workers", "Events", "Wall", "Rate", "Sync rounds"],
+        rows,
+        title=f"Monolithic vs sharded ({workers} workers, "
+              f"lookahead {sharded.lookahead_ps / 1000:.0f}ns)",
+    ))
+    delivered = sum(
+        len(report["deliveries"]) for report in mono.reports.values())
+    identical = all(
+        sharded.reports[name] == mono.reports[name] for name in mono.reports)
+    speedup = mono.wall_seconds / sharded.wall_seconds \
+        if sharded.wall_seconds else 0.0
+    print("frames delivered      :", delivered)
+    print("speedup               :", f"{speedup:.2f}x")
+    print("bit-identical reports :", "yes" if identical else "NO (DIVERGENCE)")
+    if not identical:
+        raise SystemExit("sharded run diverged from the monolithic run")
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
     "table3": cmd_table3,
     "demo": cmd_demo,
     "faults": cmd_faults,
+    "rack": cmd_rack,
 }
 
 
@@ -161,11 +210,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=sorted(COMMANDS) + ["all"],
         help="which artifact to print",
     )
+    rack = parser.add_argument_group("rack options")
+    rack.add_argument("--nics", type=int, default=4,
+                      help="NICs in the rack (2..7)")
+    rack.add_argument("--workers", type=int, default=0,
+                      help="worker processes (default: min(4, nics))")
+    rack.add_argument("--frames", type=int, default=40,
+                      help="frames per directed flow")
+    rack.add_argument("--gap-ns", type=int, default=2000,
+                      help="inter-frame gap per sender, ns")
+    rack.add_argument("--prop-ns", type=int, default=500,
+                      help="wire propagation delay, ns (the lookahead)")
+    rack.add_argument("--pattern", choices=("symmetric", "fanin"),
+                      default="symmetric", help="traffic pattern")
     args = parser.parse_args(argv)
     if args.command == "all":
+        # rack spawns worker processes; keep "all" single-process.
         for name in ("table1", "table2", "table3", "demo", "faults"):
             COMMANDS[name]()
             print()
+    elif args.command == "rack":
+        cmd_rack(nics=args.nics, workers=args.workers, frames=args.frames,
+                 gap_ns=args.gap_ns, prop_ns=args.prop_ns,
+                 pattern=args.pattern)
     else:
         COMMANDS[args.command]()
     return 0

@@ -51,6 +51,11 @@ class PanicConfig:
     # Purely a simulator-speed optimisation: simulated timestamps, delivery
     # order, and quiesced statistics are identical with it off.
     fast_path: bool = True
+    # Flow-keyed RMT trajectory memo (repro.rmt.pipeline.TrajectoryMemo):
+    # repeat flows skip the match machinery but re-execute every action.
+    # Same equivalence contract as fast_path -- purely a simulator-speed
+    # optimisation, invalidated on any table or register mutation.
+    rmt_memo: bool = True
 
     # Heavyweight RMT pipeline (section 4.2: F * P pps).
     rmt_pipelines: int = 2

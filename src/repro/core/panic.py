@@ -189,6 +189,7 @@ class PanicNic:
                 pipelines=cfg.rmt_pipelines,
                 chained_engines=cfg.rmt_chained_engines,
                 freq_hz=cfg.freq_hz,
+                memo=cfg.rmt_memo,
             )
             place(engine, f"rmt{suffix}", rmt_x, rmt_y)
             engine.decision_handler = decision

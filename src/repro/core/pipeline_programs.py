@@ -248,6 +248,17 @@ class PanicControl:
             [DIR_RX, dscp], "set_chain", {"chain": hops}
         )
 
+    def route_dscp_tx(self, dscp: int, chain: Sequence = (),
+                      egress_port: int = 0) -> None:
+        """Send TX traffic of a DSCP class through ``chain`` and out
+        ``egress_port``.  The default TX route always picks port 0, so
+        multi-port NICs (rack fabrics cabling one port per peer) classify
+        egress traffic by DSCP to pick the cable."""
+        hops = self.resolve_chain(chain) + [self._port_addrs[egress_port]]
+        self.program.table("dscp_route").add(
+            [DIR_TX, dscp], "set_chain", {"chain": hops}
+        )
+
     def route_udp_port(self, dst_port: int, chain: Sequence,
                        append_dma: bool = True) -> None:
         """Send RX traffic for a UDP destination port through ``chain``

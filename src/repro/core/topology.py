@@ -1,0 +1,165 @@
+"""Multi-NIC rack topologies and their partitioning into shards.
+
+A :class:`RackTopology` is a declarative description of a rack-scale
+experiment: which NICs exist (each built by a picklable builder
+function), and which external wires cable them together.  The same
+description drives both execution modes in :mod:`repro.sim.shard`:
+
+* **monolithic** -- every NIC in one :class:`~repro.sim.kernel.Simulator`
+  with real :class:`~repro.workloads.wire.Wire` components (the reference
+  semantics);
+* **sharded** -- NICs partitioned across worker processes, cross-shard
+  wires replaced by :class:`~repro.workloads.wire.ShardBoundary` halves
+  synchronized with conservative time windows.
+
+Builders must be module-level functions (picklable by reference) with
+signature ``builder(sim, name, **params) -> (nic, report)`` where
+``report()`` returns a picklable dict of per-NIC results.  Keeping the
+builder inside the topology guarantees the monolithic and sharded runs
+construct bit-identical NICs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.clock import NS
+
+#: Minimum lookahead a rack-local cross-shard wire may offer: anything
+#: shorter than rack-scale propagation (a few meters of fibre + PHY)
+#: would force synchronization windows comparable to single events,
+#: erasing the point of sharding.
+MIN_LOOKAHEAD_PS = 500 * NS
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies or shard assignments."""
+
+
+#: ``builder(sim, name, **params) -> (nic, report)``.
+NicBuilder = Callable[..., Tuple[Any, Callable[[], dict]]]
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """One NIC in the rack: a name plus the recipe to build it."""
+
+    name: str
+    builder: NicBuilder
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A full-duplex cable between two NICs' Ethernet ports."""
+
+    nic_a: str
+    nic_b: str
+    port_a: int = 0
+    port_b: int = 0
+    propagation_ps: int = MIN_LOOKAHEAD_PS
+
+    def __post_init__(self) -> None:
+        if self.nic_a == self.nic_b:
+            raise TopologyError(f"link connects {self.nic_a!r} to itself")
+        if self.propagation_ps <= 0:
+            raise TopologyError(
+                f"link {self.nic_a}<->{self.nic_b}: propagation must be "
+                f"positive, got {self.propagation_ps}"
+            )
+
+
+class RackTopology:
+    """A named set of NICs plus the wires cabling them together."""
+
+    def __init__(self, nics: Sequence[NicSpec], links: Sequence[LinkSpec]):
+        self.nics: List[NicSpec] = list(nics)
+        self.links: List[LinkSpec] = list(links)
+        if not self.nics:
+            raise TopologyError("topology needs at least one NIC")
+        names = [spec.name for spec in self.nics]
+        if len(set(names)) != len(names):
+            raise TopologyError(f"duplicate NIC names in {names}")
+        known = set(names)
+        seen_ports = set()
+        for link in self.links:
+            for nic, port in ((link.nic_a, link.port_a),
+                              (link.nic_b, link.port_b)):
+                if nic not in known:
+                    raise TopologyError(f"link references unknown NIC {nic!r}")
+                if (nic, port) in seen_ports:
+                    raise TopologyError(
+                        f"port {port} of {nic!r} is cabled twice"
+                    )
+                seen_ports.add((nic, port))
+
+    # ------------------------------------------------------------------
+    # Shard assignment
+    # ------------------------------------------------------------------
+
+    def assign_shards(self, workers: int) -> Dict[str, int]:
+        """Partition NICs into ``workers`` shards.
+
+        Contiguous blocks in declaration order, sizes differing by at
+        most one -- declaration order is the user's locality hint (put
+        chatty NICs next to each other to keep their wire intra-shard).
+        """
+        if workers < 1:
+            raise TopologyError(f"need at least one worker, got {workers}")
+        if workers > len(self.nics):
+            raise TopologyError(
+                f"{workers} workers for only {len(self.nics)} NICs"
+            )
+        count = len(self.nics)
+        base, extra = divmod(count, workers)
+        assignment: Dict[str, int] = {}
+        index = 0
+        for shard in range(workers):
+            size = base + (1 if shard < extra else 0)
+            for spec in self.nics[index:index + size]:
+                assignment[spec.name] = shard
+            index += size
+        return assignment
+
+    def cross_links(self, assignment: Dict[str, int]) -> List[LinkSpec]:
+        """The links whose endpoints live in different shards."""
+        return [
+            link for link in self.links
+            if assignment[link.nic_a] != assignment[link.nic_b]
+        ]
+
+    def lookahead_ps(self, assignment: Dict[str, int]) -> int:
+        """Conservative lookahead: the minimum cross-shard propagation.
+
+        No event can cross a shard boundary faster than the slowest-case
+        (i.e. minimum-delay) wire, so every shard may run ``lookahead``
+        beyond the globally earliest pending event without missing an
+        incoming message.  Raises when a cross-shard wire is shorter than
+        :data:`MIN_LOOKAHEAD_PS` -- assign those NICs to the same shard
+        instead.
+        """
+        missing = set(assignment) ^ {spec.name for spec in self.nics}
+        if missing:
+            raise TopologyError(f"assignment does not cover NICs: {missing}")
+        cross = self.cross_links(assignment)
+        if not cross:
+            # Single shard (or disconnected shards): windows are unbounded.
+            return 0
+        lookahead = min(link.propagation_ps for link in cross)
+        if lookahead < MIN_LOOKAHEAD_PS:
+            offenders = [
+                f"{l.nic_a}<->{l.nic_b} ({l.propagation_ps} ps)"
+                for l in cross if l.propagation_ps < MIN_LOOKAHEAD_PS
+            ]
+            raise TopologyError(
+                "cross-shard wires shorter than the minimum lookahead "
+                f"({MIN_LOOKAHEAD_PS} ps): {', '.join(offenders)}; "
+                "co-locate those NICs in one shard"
+            )
+        return lookahead
+
+    def __repr__(self) -> str:
+        return (
+            f"RackTopology({len(self.nics)} NICs, {len(self.links)} links)"
+        )

@@ -64,13 +64,14 @@ class RmtPipelineEngine(Engine):
         chained_engines: int = 1,
         freq_hz: float = 500 * MHZ,
         decision_handler: Optional[DecisionHandler] = None,
+        memo: bool = False,
     ):
         super().__init__(sim, name, freq_hz=freq_hz)
         if pipelines < 1:
             raise ValueError(f"{name}: pipelines must be >= 1")
         if chained_engines < 1:
             raise ValueError(f"{name}: chained_engines must be >= 1")
-        self.pipeline = RmtPipeline(program)
+        self.pipeline = RmtPipeline(program, memo=memo)
         self.pipelines = pipelines
         self.chained_engines = chained_engines
         self.decision_handler = decision_handler

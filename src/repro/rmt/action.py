@@ -36,16 +36,30 @@ class Register:
             raise ValueError(f"register {name!r} needs positive size, got {size}")
         self.name = name
         self._cells: List[int] = [initial] * size
+        self._listeners: List[Callable[[], None]] = []
+
+    def on_mutate(self, fn: Callable[[], None]) -> None:
+        """Register a callback fired on any cell write.
+
+        Used by the flow memo to invalidate cached traversals whenever
+        register state changes (whether from the control plane or from a
+        stateful action)."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
 
     def read(self, index: int) -> int:
         return self._cells[self._check(index)]
 
     def write(self, index: int, value: int) -> None:
         self._cells[self._check(index)] = value
+        for fn in self._listeners:
+            fn()
 
     def add(self, index: int, delta: int = 1) -> int:
         i = self._check(index)
         self._cells[i] += delta
+        for fn in self._listeners:
+            fn()
         return self._cells[i]
 
     def _check(self, index: int) -> int:
@@ -71,11 +85,16 @@ class ActionContext:
 
     registers: Dict[str, Register] = field(default_factory=dict)
     now_ps: int = 0
+    #: Set whenever an action fetches a register during the current
+    #: packet; the flow memo uses it to mark stages whose actions depend
+    #: on mutable state (see :class:`repro.rmt.pipeline.TrajectoryMemo`).
+    touched_state: bool = False
 
     def register(self, name: str) -> Register:
         reg = self.registers.get(name)
         if reg is None:
             raise ActionError(f"unknown register {name!r}")
+        self.touched_state = True
         return reg
 
 

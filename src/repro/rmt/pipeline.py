@@ -102,13 +102,212 @@ class RmtProgram:
         return len(self.stages)
 
 
-class RmtPipeline:
-    """Executes an :class:`RmtProgram` over packets (pure, untimed)."""
+#: Per-stage slot markers in a recorded trajectory (entries are stored as
+#: live :class:`~repro.rmt.table.TableEntry` references).
+_SKIP = object()      # requires-guard failed: stage did not run
+_DEFAULT = object()   # table miss: default action ran
+#: Placeholder for a PHV field absent from the flow key.
+_ABSENT = object()
 
-    def __init__(self, program: RmtProgram):
+
+class TrajectoryMemo:
+    """Flow-keyed cache of full RMT traversals (trajectory replay).
+
+    A packet's *flow key* is the tuple of every match-relevant PHV field
+    after parsing: all table key fields plus all ``requires`` guards
+    (absent fields are part of the key too, so requires-validity is
+    captured).  For a known key the memo replays the recorded per-stage
+    slots -- skip, default, or a live table entry -- **re-executing each
+    slot's action on the live PHV** instead of re-running the match
+    machinery.  Re-execution keeps everything that is not a table match
+    exact by construction: time-dependent slack deadlines (``ctx.now_ps``),
+    register reads, stateful policies, header rewrites, and drop marking
+    all happen precisely as in a full traversal.  Entry hit counters are
+    bumped on replay, so control-plane-visible accounting is identical.
+
+    Safety rules:
+
+    * Any :class:`~repro.rmt.table.Table` mutation or
+      :class:`~repro.rmt.action.Register` write invalidates the whole
+      cache (listeners installed by :meth:`_wire`).  A register write
+      *during* a recording marks it dirty, so flows running
+      register-writing actions (``count``, ``load_balance``) are simply
+      never cached.
+    * A recording is abandoned when an action changes a match-relevant
+      field mid-traversal (the trajectory would be input-dependent) or
+      when the packet is dropped (the slot list would be truncated).
+    * Stages whose action fetched a register (``ctx.touched_state``) are
+      re-verified on replay: if the replayed action disturbed a relevant
+      field, the memo falls back to full lookups for the remaining
+      stages.  Residual caveat: a custom action that writes a relevant
+      field from hidden (non-register) state, while coincidentally
+      preserving the recorded packet's value, could be mis-replayed;
+      no standard action does this, and ``tests/test_rmt_memo.py``
+      enforces memo-on/off equivalence for the shipped programs.
+    """
+
+    def __init__(self, program: RmtProgram, max_entries: int = 4096):
+        self.program = program
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._cache: Dict[tuple, tuple] = {}
+        self._uncacheable: set = set()
+        self._fields: tuple = ()
+        self._wired: set = set()
+        self._n_stages = -1
+        self._n_registers = -1
+        self._dirty = False
+
+    # -- wiring ---------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._dirty = True
+        if self._cache or self._uncacheable:
+            self._cache.clear()
+            self._uncacheable.clear()
+            self.invalidations += 1
+
+    def _wire(self) -> None:
+        """(Re)attach invalidation listeners and recompute the flow-key
+        field list; called whenever the program gained stages/registers."""
+        fields = []
+        for stage in self.program.stages:
+            if stage.requires is not None and stage.requires not in fields:
+                fields.append(stage.requires)
+            for key in stage.table.keys:
+                if key.field not in fields:
+                    fields.append(key.field)
+            if id(stage.table) not in self._wired:
+                stage.table.on_mutate(self._invalidate)
+                self._wired.add(id(stage.table))
+        for register in self.program.registers.values():
+            if id(register) not in self._wired:
+                register.on_mutate(self._invalidate)
+                self._wired.add(id(register))
+        self._fields = tuple(fields)
+        self._n_stages = len(self.program.stages)
+        self._n_registers = len(self.program.registers)
+        self._cache.clear()
+        self._uncacheable.clear()
+
+    def key_of(self, phv: Phv) -> tuple:
+        fields = phv._fields
+        return tuple(fields.get(name, _ABSENT) for name in self._fields)
+
+    # -- record / replay ------------------------------------------------
+
+    def process(self, pipeline: "RmtPipeline", phv: Phv) -> None:
+        if (len(self.program.stages) != self._n_stages
+                or len(self.program.registers) != self._n_registers):
+            self._wire()
+        key = self.key_of(phv)
+        if key in self._uncacheable:
+            pipeline._run_stages(phv, 0)
+            return
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._replay(pipeline, phv, key, cached)
+            self.hits += 1
+            return
+        self.misses += 1
+        self._record(pipeline, phv, key)
+
+    def _replay(
+        self, pipeline: "RmtPipeline", phv: Phv, key: tuple, cached: tuple
+    ) -> None:
+        slots, stateful = cached
+        stages = self.program.stages
+        actions = self.program.actions
+        ctx = pipeline._ctx
+        fields = phv._fields
+        for index, slot in enumerate(slots):
+            if slot is _SKIP:
+                continue
+            if slot is _DEFAULT:
+                table = stages[index].table
+                action_name = table.default_action
+                params = table.default_params
+            else:
+                slot.hits += 1
+                action_name = slot.action
+                params = slot.params
+            actions[action_name](phv, ctx, **params)
+            if index in stateful and self.key_of(phv) != key:
+                # The stateful action disturbed a match-relevant field:
+                # the rest of the trajectory is stale.  The prefix ran
+                # exactly as a full traversal would have, so finish with
+                # real lookups and drop the cached flow.
+                del self._cache[key]
+                pipeline._run_stages(phv, index + 1)
+                return
+            if fields.get("meta.drop"):
+                return
+
+    def _record(self, pipeline: "RmtPipeline", phv: Phv, key: tuple) -> None:
+        stages = self.program.stages
+        actions = self.program.actions
+        ctx = pipeline._ctx
+        fields = phv._fields
+        slots = []
+        stateful = set()
+        cacheable = True
+        self._dirty = False
+        for index, stage in enumerate(stages):
+            if stage.requires is not None and stage.requires not in fields:
+                slots.append(_SKIP)
+                continue
+            entry = stage.table.match(phv)
+            if entry is None:
+                slots.append(_DEFAULT)
+                action_name = stage.table.default_action
+                params = stage.table.default_params
+            else:
+                entry.hits += 1
+                slots.append(entry)
+                action_name = entry.action
+                params = entry.params
+            action = actions.get(action_name)
+            if action is None:
+                raise ActionError(
+                    f"table {stage.table.name!r} selected unknown action "
+                    f"{action_name!r}"
+                )
+            ctx.touched_state = False
+            action(phv, ctx, **params)
+            if ctx.touched_state:
+                stateful.add(index)
+            if cacheable and self.key_of(phv) != key:
+                # An action rewrote a match-relevant field: this flow's
+                # trajectory depends on more than the flow key.
+                cacheable = False
+                self._uncacheable.add(key)
+            if fields.get("meta.drop"):
+                cacheable = False  # truncated slot list: never cache
+                break
+        if cacheable and not self._dirty:
+            if len(self._cache) >= self.max_entries:
+                self._cache.clear()
+            if len(self._uncacheable) >= self.max_entries:
+                self._uncacheable.clear()
+            self._cache[key] = (slots, frozenset(stateful))
+
+
+class RmtPipeline:
+    """Executes an :class:`RmtProgram` over packets (pure, untimed).
+
+    With ``memo=True`` a :class:`TrajectoryMemo` caches the per-flow
+    stage trajectory, skipping the match machinery for repeat flows while
+    re-executing every action -- observable behaviour (PHV, hit counters,
+    register state, drops) is bit-identical with the memo on or off.
+    """
+
+    def __init__(self, program: RmtProgram, memo: bool = False):
         self.program = program
         self._ctx = ActionContext(registers=program.registers)
         self.packets_processed = 0
+        self.memo = TrajectoryMemo(program) if memo else None
 
     def process(
         self,
@@ -127,7 +326,18 @@ class RmtPipeline:
                 phv.set(f"meta.{key}", value)
         self.program.parse_graph.parse(data, phv)
         self._ctx.now_ps = now_ps
-        for stage in self.program.stages:
+        if self.memo is not None:
+            self.memo.process(self, phv)
+        else:
+            self._run_stages(phv, 0)
+        self.packets_processed += 1
+        return phv
+
+    def _run_stages(self, phv: Phv, start: int) -> None:
+        """The plain stage loop, from stage ``start`` onward."""
+        stages = self.program.stages
+        for index in range(start, len(stages)):
+            stage = stages[index]
             if stage.requires is not None and not phv.is_valid(stage.requires):
                 continue
             action_name, params, _hit = stage.table.lookup(phv)
@@ -140,8 +350,6 @@ class RmtPipeline:
             action(phv, self._ctx, **params)
             if phv.get_or("meta.drop", 0):
                 break
-        self.packets_processed += 1
-        return phv
 
     # ------------------------------------------------------------------
     # Deparser

@@ -80,6 +80,20 @@ class Table:
         self._exact_index: Dict[Tuple[Any, ...], TableEntry] = {}
         self._scan_entries: List[TableEntry] = []
         self._all_exact = all(k.kind == MatchKind.EXACT for k in self.keys)
+        self._listeners: List[Any] = []
+
+    def on_mutate(self, fn) -> None:
+        """Register a callback fired on any entry add/remove/clear.
+
+        Used by the flow memo (:class:`repro.rmt.pipeline.TrajectoryMemo`)
+        to invalidate cached traversals when the control plane reprograms
+        the table."""
+        if fn not in self._listeners:
+            self._listeners.append(fn)
+
+    def _notify(self) -> None:
+        for fn in self._listeners:
+            fn()
 
     # ------------------------------------------------------------------
     # Programming interface (the "control plane")
@@ -115,6 +129,7 @@ class Table:
             self._scan_entries.append(entry)
             # Highest priority first; stable for equal priorities.
             self._scan_entries.sort(key=lambda e: -e.priority)
+        self._notify()
         return entry
 
     def remove(self, patterns: Sequence[Any]) -> None:
@@ -123,16 +138,19 @@ class Table:
             if key not in self._exact_index:
                 raise TableError(f"table {self.name!r}: no entry {key}")
             del self._exact_index[key]
+            self._notify()
             return
         for i, entry in enumerate(self._scan_entries):
             if entry.patterns == key:
                 del self._scan_entries[i]
+                self._notify()
                 return
         raise TableError(f"table {self.name!r}: no entry {key}")
 
     def clear(self) -> None:
         self._exact_index.clear()
         self._scan_entries.clear()
+        self._notify()
 
     def entries(self) -> List[TableEntry]:
         """All installed entries (control-plane inspection / rewriting)."""
@@ -185,6 +203,21 @@ class Table:
                 entry.hits += 1
                 return entry.action, entry.params, True
         return self.default_action, self.default_params, False
+
+    def match(self, phv: Phv) -> Optional[TableEntry]:
+        """Like :meth:`lookup` but returns the matched entry itself (or
+        ``None`` on a miss) and does *not* bump its hit counter -- the
+        flow memo records entries and does its own hit accounting."""
+        try:
+            values = tuple(phv.get(key.field) for key in self.keys)
+        except PhvError:
+            return None
+        if self._all_exact:
+            return self._exact_index.get(values)
+        for entry in self._scan_entries:
+            if self._entry_matches(entry, values):
+                return entry
+        return None
 
     def _entry_matches(self, entry: TableEntry, values: Tuple[Any, ...]) -> bool:
         for key, pattern, value in zip(self.keys, entry.patterns, values):

@@ -277,6 +277,16 @@ class Simulator:
             return heap[0][0]
         return None
 
+    def next_event_ps(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when drained.
+
+        Used by the sharded runner (:mod:`repro.sim.shard`) to compute
+        conservative synchronization windows: a shard whose next event is
+        at ``t`` cannot emit anything onto a cross-shard wire before
+        ``t``, so every shard may safely run to ``min_t + lookahead``.
+        """
+        return self._peek_when()
+
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
         event = self._pop_next()

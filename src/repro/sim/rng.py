@@ -8,6 +8,7 @@ configuration produce bit-identical traces.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -21,8 +22,17 @@ class SeededRng:
         self._rng = random.Random(seed)
 
     def fork(self, salt: str) -> "SeededRng":
-        """Derive an independent stream (e.g. one per traffic source)."""
-        return SeededRng(hash((self.seed, salt)) & 0x7FFF_FFFF_FFFF_FFFF)
+        """Derive an independent stream (e.g. one per traffic source).
+
+        The salt is mixed with a stable digest, never Python's
+        ``hash()``: string hashing is randomized per interpreter launch
+        (PYTHONHASHSEED), which would give every process its own stream
+        -- run-to-run timestamps would drift, and sharded workers on
+        spawn-context platforms would diverge from the monolithic run.
+        """
+        return SeededRng(
+            (self.seed << 32) ^ zlib.crc32(salt.encode("utf-8"))
+        )
 
     # -- primitive draws -------------------------------------------------
 

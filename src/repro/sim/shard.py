@@ -1,0 +1,468 @@
+"""Rack-scale sharded execution with conservative time windows.
+
+Runs a :class:`~repro.core.topology.RackTopology` either **monolithically**
+(every NIC in one :class:`~repro.sim.kernel.Simulator` cabled by real
+:class:`~repro.workloads.wire.Wire` components -- the reference semantics)
+or **sharded** across worker processes, one ``Simulator`` per worker,
+synchronized with a conservative window protocol:
+
+1. Every shard reports the timestamp of its earliest pending event.
+2. The coordinator computes the window end ``E = m + L`` where ``m`` is
+   the global minimum over those timestamps (and any in-flight cross-shard
+   frame arrivals) and ``L`` is the **lookahead** -- the minimum
+   propagation delay over all cross-shard wires.
+3. Each shard runs its events up to ``E - 1`` inclusive.  Any frame it
+   transmits during the window leaves at ``tx >= m`` and arrives at
+   ``tx + prop >= m + L = E``, i.e. strictly beyond the window -- so no
+   shard can receive anything it should already have processed.
+4. At the barrier, egress frames (captured per window by
+   :class:`~repro.workloads.wire.ShardBoundary`) are exchanged as
+   serialized batches and scheduled at their exact arrival timestamps
+   before the next window opens.
+
+Windows are half-open on purpose: shards run ``until E - 1`` so that a
+frame arriving exactly at ``E`` is scheduled *before* any local event at
+``E`` fires.  Progress is guaranteed because ``m`` advances by at least
+``L`` per round (every event at or before ``E - 1`` has fired, so the
+next candidate is at least ``E = m + L``).
+
+The sharded run reproduces the monolithic run bit-for-bit: identical
+per-NIC ``stats()`` trees and delivery timestamps (enforced by
+``tests/test_shard_equivalence.py``).  See DESIGN.md section 10 for the
+determinism argument and its one residual tie-breaking caveat.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.topology import LinkSpec, RackTopology
+from repro.sim.kernel import DeadlockError, SimError, Simulator
+
+#: Default per-window event budget: a backstop against deadlocks and
+#: livelocks inside one shard.  A window that fires this many events with
+#: work still pending aborts the whole rack run with the shard's pending
+#: summary instead of hanging the barrier forever.
+DEFAULT_WINDOW_EVENT_BUDGET = 50_000_000
+
+
+class ShardError(SimError):
+    """A worker process failed or the shard protocol was misused."""
+
+
+class ShardDeadlockError(ShardError):
+    """A shard exhausted its per-window event budget with work pending.
+
+    Carries the offending shard id and its kernel ``pending_summary`` so
+    the report survives the worker process.
+    """
+
+    def __init__(self, shard: int, summary: str):
+        super().__init__(
+            f"shard {shard} exhausted its window event budget with work "
+            f"still pending (likely deadlock or livelock)\n{summary}"
+        )
+        self.shard = shard
+        self.summary = summary
+
+
+@dataclass
+class ShardRunResult:
+    """Outcome of one rack run (either execution mode)."""
+
+    mode: str                      # "monolithic" | "sharded"
+    workers: int
+    reports: Dict[str, dict]       # nic name -> its builder's report()
+    events_fired: int              # summed across shards
+    wall_seconds: float
+    rounds: int = 0                # sync barriers (0 for monolithic)
+    lookahead_ps: int = 0
+    final_ps: Dict[str, int] = field(default_factory=dict)  # per-NIC sim.now
+
+
+def _mp_context():
+    """Fork when the platform offers it (cheap, inherits the import
+    state); builders are module-level functions, so spawn works too."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ---------------------------------------------------------------------------
+# Monolithic reference run
+# ---------------------------------------------------------------------------
+
+
+def run_monolithic(topology: RackTopology) -> ShardRunResult:
+    """Run the whole topology in this process: the reference semantics
+    every sharded run must reproduce bit-for-bit."""
+    from repro.workloads.wire import Wire
+
+    t0 = time.perf_counter()
+    sim = Simulator()
+    nics: Dict[str, Any] = {}
+    reports: Dict[str, Callable[[], dict]] = {}
+    for spec in topology.nics:
+        nic, report = spec.builder(sim, spec.name, **spec.params)
+        nics[spec.name] = nic
+        reports[spec.name] = report
+    for index, link in enumerate(topology.links):
+        Wire(
+            sim, nics[link.nic_a], nics[link.nic_b],
+            name=f"wire{index}.{link.nic_a}-{link.nic_b}",
+            propagation_ps=link.propagation_ps,
+            port_a=link.port_a, port_b=link.port_b,
+        )
+    fired = sim.run()
+    wall = time.perf_counter() - t0
+    return ShardRunResult(
+        mode="monolithic",
+        workers=1,
+        reports={name: report() for name, report in reports.items()},
+        events_fired=fired,
+        wall_seconds=wall,
+        final_ps={name: sim.now for name in nics},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+# Cross-shard boundaries are keyed by (link index, end) where end is "a"
+# or "b"; the key names the *receiving* boundary, so a capsule captured at
+# end "a" of link 7 is routed to key (7, "b").
+
+_OTHER_END = {"a": "b", "b": "a"}
+
+
+def _link_end(link: LinkSpec, end: str) -> Tuple[str, int]:
+    return (link.nic_a, link.port_a) if end == "a" else (link.nic_b, link.port_b)
+
+
+def _shard_worker_main(
+    conn,
+    shard: int,
+    topology: RackTopology,
+    assignment: Dict[str, int],
+    window_budget: Optional[int],
+) -> None:
+    """Entry point of one shard process.
+
+    Protocol (tuples over a duplex pipe):
+
+    * -> ``("ready", next_ps)`` after construction.
+    * <- ``("run", until_ps | None, ingress)`` where ``ingress`` is a list
+      of ``(boundary_key, [PacketCapsule, ...])``; runs the window and
+      replies ``("done", next_ps, fired, outbox)`` with ``outbox`` keyed
+      by *destination* boundary.
+    * <- ``("finish",)``; replies ``("reports", {nic: report}, now_ps)``.
+    * Budget exhaustion replies ``("deadlock", summary)``; any other
+      failure replies ``("error", traceback)``.
+    """
+    from repro.workloads.wire import ShardBoundary, Wire
+
+    try:
+        sim = Simulator()
+        nics: Dict[str, Any] = {}
+        reports: Dict[str, Callable[[], dict]] = {}
+        for spec in topology.nics:
+            if assignment[spec.name] != shard:
+                continue
+            nic, report = spec.builder(sim, spec.name, **spec.params)
+            nics[spec.name] = nic
+            reports[spec.name] = report
+
+        boundaries: Dict[Tuple[int, str], ShardBoundary] = {}
+        for index, link in enumerate(topology.links):
+            shard_a = assignment[link.nic_a]
+            shard_b = assignment[link.nic_b]
+            if shard_a == shard and shard_b == shard:
+                Wire(
+                    sim, nics[link.nic_a], nics[link.nic_b],
+                    name=f"wire{index}.{link.nic_a}-{link.nic_b}",
+                    propagation_ps=link.propagation_ps,
+                    port_a=link.port_a, port_b=link.port_b,
+                )
+            elif shard_a == shard or shard_b == shard:
+                end = "a" if shard_a == shard else "b"
+                nic_name, port = _link_end(link, end)
+                peer_name, _ = _link_end(link, _OTHER_END[end])
+                boundaries[(index, end)] = ShardBoundary(
+                    sim, nics[nic_name], port,
+                    peer_nic=peer_name,
+                    propagation_ps=link.propagation_ps,
+                    name=f"boundary{index}.{nic_name}.p{port}",
+                )
+
+        conn.send(("ready", sim.next_event_ps()))
+
+        while True:
+            message = conn.recv()
+            if message[0] == "finish":
+                conn.send((
+                    "reports",
+                    {name: report() for name, report in reports.items()},
+                    sim.now,
+                ))
+                return
+            if message[0] != "run":  # pragma: no cover - protocol misuse
+                raise ShardError(f"shard {shard}: unexpected {message[0]!r}")
+            _, until_ps, ingress = message
+            for key, capsules in ingress:
+                boundaries[key].schedule_deliveries(capsules)
+            try:
+                fired = sim.run(
+                    until_ps=until_ps,
+                    max_events=window_budget,
+                    on_max_events="raise",
+                )
+            except DeadlockError as exc:
+                conn.send(("deadlock", str(exc)))
+                return
+            outbox = [
+                ((index, _OTHER_END[end]), batch)
+                for (index, end), boundary in boundaries.items()
+                for batch in (boundary.take_outbox(),)
+                if batch
+            ]
+            conn.send(("done", sim.next_event_ps(), fired, outbox))
+    except Exception:  # pragma: no cover - ships the traceback out
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+def run_sharded(
+    topology: RackTopology,
+    workers: int,
+    window_event_budget: Optional[int] = DEFAULT_WINDOW_EVENT_BUDGET,
+) -> ShardRunResult:
+    """Run ``topology`` partitioned across ``workers`` processes.
+
+    With one worker (or no cross-shard links) the single shard runs one
+    unbounded window -- no barriers, identical to monolithic semantics in
+    a child process.  Raises :class:`ShardDeadlockError` when a shard
+    exhausts ``window_event_budget`` with work pending, and
+    :class:`~repro.core.topology.TopologyError` when a cross-shard wire
+    is shorter than the minimum lookahead.
+    """
+    assignment = topology.assign_shards(workers)
+    lookahead = topology.lookahead_ps(assignment)
+
+    # Destination boundary key -> owning shard, for routing outboxes.
+    key_shard: Dict[Tuple[int, str], int] = {}
+    for index, link in enumerate(topology.links):
+        if assignment[link.nic_a] != assignment[link.nic_b]:
+            key_shard[(index, "a")] = assignment[link.nic_a]
+            key_shard[(index, "b")] = assignment[link.nic_b]
+
+    ctx = _mp_context()
+    pipes = []
+    procs = []
+    t0 = time.perf_counter()
+    try:
+        for shard in range(workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child, shard, topology, assignment,
+                      window_event_budget),
+                name=f"repro-shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            pipes.append(parent)
+            procs.append(proc)
+
+        def expect(shard: int, *kinds: str):
+            reply = pipes[shard].recv()
+            if reply[0] == "deadlock":
+                raise ShardDeadlockError(shard, reply[1])
+            if reply[0] == "error":
+                raise ShardError(f"shard {shard} failed:\n{reply[1]}")
+            if reply[0] not in kinds:  # pragma: no cover
+                raise ShardError(
+                    f"shard {shard}: expected {kinds}, got {reply[0]!r}"
+                )
+            return reply
+
+        next_ps: List[Optional[int]] = [
+            expect(shard, "ready")[1] for shard in range(workers)
+        ]
+        inbox: List[Dict[Tuple[int, str], list]] = [
+            {} for _ in range(workers)
+        ]
+        total_fired = 0
+        rounds = 0
+
+        while True:
+            candidates = [t for t in next_ps if t is not None]
+            candidates.extend(
+                capsule.arrival_ps
+                for shard_inbox in inbox
+                for batch in shard_inbox.values()
+                for capsule in batch
+            )
+            if not candidates:
+                break
+            if lookahead:
+                # Half-open window: run to E - 1 so a frame arriving at
+                # exactly E is scheduled before any local event at E.
+                until: Optional[int] = min(candidates) + lookahead - 1
+            else:
+                until = None  # no cross-shard wires: one unbounded window
+            rounds += 1
+            for shard in range(workers):
+                pipes[shard].send((
+                    "run", until, sorted(inbox[shard].items()),
+                ))
+                inbox[shard] = {}
+            exchanged = False
+            for shard in range(workers):
+                _, shard_next, fired, outbox = expect(shard, "done")
+                next_ps[shard] = shard_next
+                total_fired += fired
+                for key, batch in outbox:
+                    inbox[key_shard[key]].setdefault(key, []).extend(batch)
+                    exchanged = True
+            if until is None and not exchanged:
+                break
+
+        reports: Dict[str, dict] = {}
+        final_ps: Dict[str, int] = {}
+        for shard in range(workers):
+            pipes[shard].send(("finish",))
+        for shard in range(workers):
+            _, shard_reports, now_ps = expect(shard, "reports")
+            reports.update(shard_reports)
+            for name in shard_reports:
+                final_ps[name] = now_ps
+        wall = time.perf_counter() - t0
+        for proc in procs:
+            proc.join(timeout=30)
+        return ShardRunResult(
+            mode="sharded",
+            workers=workers,
+            reports=reports,
+            events_fired=total_fired,
+            wall_seconds=wall,
+            rounds=rounds,
+            lookahead_ps=lookahead,
+            final_ps=final_ps,
+        )
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for pipe in pipes:
+            pipe.close()
+
+
+# ---------------------------------------------------------------------------
+# Generic process pool on the same plumbing (used by benchmarks/perf)
+# ---------------------------------------------------------------------------
+
+
+def _map_worker_main(conn, fn: Callable[[Any], Any]) -> None:
+    """Worker loop for :func:`parallel_map`: receive ``(index, item)``
+    jobs, reply ``("done", index, result)`` until ``("stop",)``."""
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                return
+            _, index, item = message
+            conn.send(("done", index, fn(item)))
+    except Exception:  # pragma: no cover
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Map ``fn`` over ``items`` across worker processes, preserving
+    order.  ``fn`` must be a module-level (picklable) function.  Jobs are
+    dispatched dynamically, so heterogeneous item costs balance out.
+    Falls back to an in-process loop for a single job or a single item.
+    """
+    work = list(items)
+    if not work:
+        return []
+    jobs = max(1, min(jobs or os.cpu_count() or 1, len(work)))
+    if jobs == 1:
+        return [fn(item) for item in work]
+
+    ctx = _mp_context()
+    results: List[Any] = [None] * len(work)
+    pending = iter(enumerate(work))
+    outstanding = 0
+    pipes = []
+    procs = []
+    try:
+        for job in range(jobs):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_map_worker_main, args=(child, fn),
+                name=f"repro-map-{job}", daemon=True,
+            )
+            proc.start()
+            child.close()
+            pipes.append(parent)
+            procs.append(proc)
+
+        for pipe in pipes:
+            try:
+                index, item = next(pending)
+            except StopIteration:
+                break
+            pipe.send(("job", index, item))
+            outstanding += 1
+
+        while outstanding:
+            for pipe in _conn_wait(pipes):
+                reply = pipe.recv()
+                if reply[0] == "error":
+                    raise ShardError(f"parallel_map worker failed:\n{reply[1]}")
+                _, index, result = reply
+                results[index] = result
+                outstanding -= 1
+                try:
+                    index, item = next(pending)
+                except StopIteration:
+                    continue
+                pipe.send(("job", index, item))
+                outstanding += 1
+
+        for pipe in pipes:
+            pipe.send(("stop",))
+        for proc in procs:
+            proc.join(timeout=30)
+        return results
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for pipe in pipes:
+            pipe.close()

@@ -19,7 +19,8 @@ from repro.workloads.kvs import (
 )
 from repro.workloads.dos import DosFlood
 from repro.workloads.traces import TraceRecorder, TraceReplayer, TraceRecord
-from repro.workloads.wire import Wire
+from repro.workloads.wire import PacketCapsule, ShardBoundary, Wire
+from repro.workloads.rack import build_rack_nic, rack_topology
 
 __all__ = [
     "CbrSource",
@@ -27,12 +28,16 @@ __all__ = [
     "KvsClient",
     "KvsWorkload",
     "OnOffSource",
+    "PacketCapsule",
     "PoissonSource",
+    "ShardBoundary",
     "TenantSpec",
     "TraceRecord",
     "TraceRecorder",
     "TraceReplayer",
     "TrafficSource",
     "Wire",
+    "build_rack_nic",
+    "rack_topology",
     "simple_udp_factory",
 ]

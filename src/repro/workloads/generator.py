@@ -7,6 +7,7 @@ any baseline NIC, or a bare mesh endpoint.
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Optional
 
 from repro.packet.builder import build_udp_frame
@@ -168,7 +169,9 @@ class PoissonSource(TrafficSource):
         if rate_pps <= 0:
             raise ValueError(f"{name}: rate must be positive, got {rate_pps}")
         self.mean_gap_ps = SEC / rate_pps
-        self.rng = rng if rng is not None else SeededRng(hash(name) & 0xFFFF)
+        # zlib.crc32, not hash(): str hashing is randomized per process.
+        self.rng = rng if rng is not None else SeededRng(
+            zlib.crc32(name.encode("utf-8")) & 0xFFFF)
 
     def next_gap_ps(self) -> int:
         return int(self.rng.exponential(self.mean_gap_ps))

@@ -1,0 +1,204 @@
+"""Rack-scale multi-NIC workloads for the sharded execution layer.
+
+Builds :class:`~repro.core.topology.RackTopology` descriptions whose NICs
+are full PANIC instances driving traffic at each other over per-pair
+cables -- the multi-node regimes SuperNIC and PsPIN evaluate, scaled to
+N NICs on N cores by :mod:`repro.sim.shard`.
+
+Patterns:
+
+* ``"symmetric"`` -- every NIC streams to every other NIC, so each node
+  is simultaneously an (N-1)-way incast receiver and an (N-1)-flow
+  sender.  Load is perfectly balanced across shards, which is what the
+  speedup benchmark wants.
+* ``"fanin"`` -- classic incast: NICs 1..N-1 all stream at NIC 0.  The
+  receiver shard dominates, demonstrating the protocol under imbalance.
+
+Each directed flow ``src -> dst`` gets its own DSCP class: the sender
+keys its TX route (``route_dscp_tx``) on it to pick the egress cable,
+and the receiver keys a per-source slack on it so the on-NIC scheduler
+sees distinct tenants.  Frames carry an 8-byte sequence number plus the
+2-byte source index in the UDP payload, so receivers can attribute every
+delivery exactly -- the shard equivalence tests compare these
+``(src, seq, t, queue)`` tuples bit-for-bit between execution modes.
+
+``build_rack_nic`` is module-level and picklable by reference, as the
+shard workers require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.core.config import PanicConfig
+from repro.core.panic import PanicNic
+from repro.core.topology import LinkSpec, NicSpec, RackTopology
+from repro.packet.builder import build_udp_frame
+from repro.sim.clock import US
+from repro.sim.kernel import Simulator
+from repro.workloads.wire import DEFAULT_PROPAGATION_PS
+
+#: First DSCP class used for rack flows; flow (src, dst) on an N-NIC rack
+#: uses ``RACK_DSCP_BASE + src * N + dst``.  DSCP is a 6-bit field, which
+#: caps the all-pairs encoding at 7 NICs -- plenty for per-core shards on
+#: one machine; larger racks would key flows on ports instead.
+RACK_DSCP_BASE = 8
+MAX_RACK_NICS = 7
+
+#: UDP payload starts after Ethernet (14) + IPv4 (20) + UDP (8) headers.
+_PAYLOAD_OFFSET = 42
+
+
+def rack_port(local: int, peer: int) -> int:
+    """The local Ethernet port cabled to ``peer`` in an all-pairs rack
+    (each NIC has N-1 ports, one per other NIC, in peer-index order)."""
+    return peer if peer < local else peer - 1
+
+
+def flow_dscp(src: int, dst: int, n_nics: int) -> int:
+    return RACK_DSCP_BASE + src * n_nics + dst
+
+
+def build_rack_nic(
+    sim: Simulator,
+    name: str,
+    *,
+    index: int,
+    n_nics: int,
+    frames: int,
+    gap_ps: int = 2 * US,
+    payload_bytes: int = 256,
+    pattern: str = "symmetric",
+    seed: int = 0,
+    fast_path: bool = True,
+) -> Tuple[PanicNic, Callable[[], dict]]:
+    """Build rack node ``index`` of ``n_nics``: a PANIC NIC with one port
+    per peer, TX routes steering each flow's DSCP onto its cable, per-
+    source RX slack classes, scheduled senders, and a delivery recorder.
+
+    Returns ``(nic, report)`` where ``report()`` yields a picklable dict:
+    ``stats`` (the NIC's stats tree), ``deliveries`` (sorted
+    ``(src, seq, arrival_ps, queue)`` tuples) and ``sent``.
+    """
+    if pattern not in ("symmetric", "fanin"):
+        raise ValueError(f"unknown rack pattern {pattern!r}")
+    config = PanicConfig(
+        ports=n_nics - 1,
+        offloads=("checksum",),
+        seed=seed + index,
+        fast_path=fast_path,
+    )
+    nic = PanicNic(sim, config, name=name)
+
+    peers = [peer for peer in range(n_nics) if peer != index]
+    for peer in peers:
+        # Outbound: this flow's DSCP class leaves on the cable to `peer`,
+        # via the checksum lane so TX exercises an offload hop too.
+        nic.control.route_dscp_tx(
+            flow_dscp(index, peer, n_nics),
+            chain=["checksum"],
+            egress_port=rack_port(index, peer),
+        )
+        # Inbound: per-source slack, so the on-NIC scheduler treats each
+        # remote sender as a distinct tenant class.
+        nic.control.set_dscp_slack(
+            flow_dscp(peer, index, n_nics), (1 + peer) * 200 * US
+        )
+
+    deliveries = []
+
+    def on_rx(packet, queue: int) -> None:
+        payload = packet.data[_PAYLOAD_OFFSET:]
+        seq = int.from_bytes(payload[:8], "big")
+        src = int.from_bytes(payload[8:10], "big")
+        deliveries.append((src, seq, sim.now, queue))
+
+    nic.host.software_handler = on_rx
+
+    if pattern == "symmetric":
+        targets = peers
+    else:  # fanin: everyone streams at NIC 0
+        targets = [0] if index != 0 else []
+
+    pad = max(0, payload_bytes - 10)
+    sent = 0
+    for dst in targets:
+        dscp = flow_dscp(index, dst, n_nics)
+        for seq in range(frames):
+            payload = (
+                seq.to_bytes(8, "big") + index.to_bytes(2, "big") + bytes(pad)
+            )
+            frame = build_udp_frame(
+                src_mac="02:00:00:00:00:%02x" % (index + 1),
+                dst_mac="02:00:00:00:00:%02x" % (dst + 1),
+                src_ip=f"10.0.{index}.1",
+                dst_ip=f"10.0.{dst}.1",
+                src_port=40000 + index,
+                dst_port=9000,
+                payload=payload,
+                dscp=dscp,
+                identification=seq & 0xFFFF,
+            )
+            # Senders are aligned across the rack on purpose: every node
+            # releases frame k at the same instant, producing the incast.
+            sim.schedule_at(seq * gap_ps, nic.host.enqueue_tx, frame)
+            sent += 1
+
+    total_sent = sent
+
+    def report() -> dict:
+        return {
+            "stats": nic.stats(),
+            "deliveries": sorted(deliveries),
+            "sent": total_sent,
+        }
+
+    return nic, report
+
+
+def rack_topology(
+    nics: int = 4,
+    pattern: str = "symmetric",
+    frames: int = 40,
+    gap_ps: int = 2 * US,
+    payload_bytes: int = 256,
+    propagation_ps: int = DEFAULT_PROPAGATION_PS,
+    seed: int = 0,
+    fast_path: bool = True,
+) -> RackTopology:
+    """An all-pairs-cabled rack of ``nics`` PANIC NICs running the given
+    traffic pattern.  Every unordered pair gets one full-duplex cable;
+    the port numbering is :func:`rack_port` on both ends."""
+    if not 2 <= nics <= MAX_RACK_NICS:
+        raise ValueError(
+            f"rack supports 2..{MAX_RACK_NICS} NICs (DSCP flow encoding), "
+            f"got {nics}"
+        )
+    specs = [
+        NicSpec(
+            f"nic{i}",
+            build_rack_nic,
+            {
+                "index": i,
+                "n_nics": nics,
+                "frames": frames,
+                "gap_ps": gap_ps,
+                "payload_bytes": payload_bytes,
+                "pattern": pattern,
+                "seed": seed,
+                "fast_path": fast_path,
+            },
+        )
+        for i in range(nics)
+    ]
+    links = [
+        LinkSpec(
+            f"nic{i}", f"nic{j}",
+            port_a=rack_port(i, j),
+            port_b=rack_port(j, i),
+            propagation_ps=propagation_ps,
+        )
+        for i in range(nics)
+        for j in range(i + 1, nics)
+    ]
+    return RackTopology(specs, links)

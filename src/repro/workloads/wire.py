@@ -9,19 +9,49 @@ configurable one-way propagation delay (rack-local ~500 ns, cross-DC
 Both ends expose the common NIC surface this library uses everywhere
 (``on_transmit`` to observe egress, ``inject`` to offer ingress), so any
 pair of PANIC/baseline NICs can be cabled.
+
+:class:`ShardBoundary` is the sharded-execution variant (see
+:mod:`repro.sim.shard`): one *half* of a wire whose far end lives in
+another worker process.  Egress frames are captured into per-window
+batches of picklable :class:`PacketCapsule` records instead of being
+scheduled locally; ingress capsules received at a window barrier are
+scheduled for delivery at exactly the timestamp the monolithic
+:class:`Wire` would have used, so the sharded run stays bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
-from repro.packet.packet import Packet, PacketMetadata
+from repro.packet.packet import MessageKind, Packet
 from repro.sim.clock import NS
 from repro.sim.kernel import Component, Simulator
 from repro.sim.stats import Counter
 
 #: Rack-local one-way propagation (a few meters of fibre + PHY).
 DEFAULT_PROPAGATION_PS = 500 * NS
+
+
+def _refresh_packet(
+    data: bytes,
+    kind: MessageKind,
+    created_ps: int,
+    tenant: Optional[int],
+    request_ctx: Any,
+    e2e_t0: Any,
+) -> Packet:
+    """A frame entering a new NIC is a new packet life: fresh metadata,
+    same bytes.  Shared by :class:`Wire` and :class:`ShardBoundary` so
+    both execution modes hand the receiving NIC an identical packet."""
+    fresh = Packet(data, kind)
+    fresh.meta.created_ps = created_ps
+    fresh.meta.tenant = tenant
+    if request_ctx is not None:
+        fresh.meta.annotations["request_ctx"] = request_ctx
+    if e2e_t0 is not None:
+        fresh.meta.annotations["e2e_t0"] = e2e_t0
+    return fresh
 
 
 class Wire(Component):
@@ -51,19 +81,15 @@ class Wire(Component):
         nic_b.on_transmit(self._from_b)
 
     def _refresh(self, packet: Packet) -> Packet:
-        """A frame entering a new NIC is a new packet life: fresh
-        metadata, same bytes."""
-        fresh = Packet(packet.data, packet.kind)
-        fresh.meta.created_ps = self.now
-        fresh.meta.tenant = packet.meta.tenant
-        # Keep cross-NIC correlation for experiments.
-        ctx = packet.meta.annotations.get("request_ctx")
-        if ctx is not None:
-            fresh.meta.annotations["request_ctx"] = ctx
-        e2e = packet.meta.annotations.get("e2e_t0")
-        if e2e is not None:
-            fresh.meta.annotations["e2e_t0"] = e2e
-        return fresh
+        meta = packet.meta
+        return _refresh_packet(
+            packet.data,
+            packet.kind,
+            self.now,
+            meta.tenant,
+            meta.annotations.get("request_ctx"),
+            meta.annotations.get("e2e_t0"),
+        )
 
     def _from_a(self, packet: Packet) -> None:
         if (packet.meta.egress_port or 0) != self.port_a:
@@ -86,3 +112,118 @@ class Wire(Component):
     @staticmethod
     def _deliver(nic, port: int, packet: Packet) -> None:
         nic.inject(packet, port)
+
+
+@dataclass
+class PacketCapsule:
+    """A frame in transit between shards: everything a :class:`Wire`
+    would carry across, in picklable form.
+
+    ``arrival_ps`` is the absolute delivery timestamp (TX time plus the
+    wire's propagation delay); ``link_seq`` is the per-boundary transmit
+    sequence number, used to keep same-instant deliveries on one wire in
+    FIFO order after the batch crosses process boundaries.
+
+    ``request_ctx`` and ``e2e_t0`` mirror the annotations a monolithic
+    :class:`Wire` preserves; in a sharded run they must be picklable.
+    """
+
+    data: bytes
+    kind: str
+    created_ps: int
+    arrival_ps: int
+    link_seq: int
+    tenant: Optional[int] = None
+    request_ctx: Any = None
+    e2e_t0: Any = None
+
+
+class ShardBoundary(Component):
+    """One shard's half of a cross-shard wire.
+
+    The egress side observes the local NIC's transmissions on the cabled
+    port and buffers them as :class:`PacketCapsule` batches; the shard
+    runner drains :meth:`take_outbox` at every window barrier and ships
+    the batch to the peer shard.  The ingress side receives the peer's
+    capsules via :meth:`schedule_deliveries` and injects each frame at
+    its exact arrival timestamp.
+
+    Because the conservative window protocol guarantees every capsule
+    arrives at the consumer before its ``arrival_ps`` window opens, the
+    receiving NIC cannot distinguish a :class:`ShardBoundary` from a real
+    :class:`Wire`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic,
+        port: int,
+        peer_nic: str,
+        propagation_ps: int = DEFAULT_PROPAGATION_PS,
+        name: Optional[str] = None,
+    ):
+        super().__init__(sim, name or f"boundary.{peer_nic}.p{port}")
+        if propagation_ps <= 0:
+            raise ValueError(f"{self.name}: propagation must be positive")
+        self.nic = nic
+        self.port = port
+        self.peer_nic = peer_nic
+        self.propagation_ps = propagation_ps
+        self._outbox: List[PacketCapsule] = []
+        self._tx_seq = 0
+        self.tx_captured = Counter(f"{self.name}.tx")
+        self.rx_delivered = Counter(f"{self.name}.rx")
+        nic.on_transmit(self._capture)
+
+    # -- egress ---------------------------------------------------------
+
+    def _capture(self, packet: Packet) -> None:
+        if (packet.meta.egress_port or 0) != self.port:
+            return
+        meta = packet.meta
+        self._outbox.append(PacketCapsule(
+            data=packet.data,
+            kind=packet.kind.value,
+            created_ps=self.now,
+            arrival_ps=self.now + self.propagation_ps,
+            link_seq=self._tx_seq,
+            tenant=meta.tenant,
+            request_ctx=meta.annotations.get("request_ctx"),
+            e2e_t0=meta.annotations.get("e2e_t0"),
+        ))
+        self._tx_seq += 1
+        self.tx_captured.add()
+
+    def take_outbox(self) -> List[PacketCapsule]:
+        """Drain the egress batch accumulated during the last window."""
+        batch, self._outbox = self._outbox, []
+        return batch
+
+    # -- ingress --------------------------------------------------------
+
+    def schedule_deliveries(self, capsules: List[PacketCapsule]) -> None:
+        """Schedule every received capsule at its exact arrival time.
+
+        Capsules are ordered by ``(arrival_ps, link_seq)`` before
+        scheduling so simultaneous arrivals on this wire fire in the FIFO
+        order the monolithic wire would have produced.
+        """
+        for capsule in sorted(
+            capsules, key=lambda c: (c.arrival_ps, c.link_seq)
+        ):
+            self.sim.schedule_at(capsule.arrival_ps, self._deliver, capsule)
+
+    def _deliver(self, capsule: PacketCapsule) -> None:
+        self.rx_delivered.add()
+        self.nic.inject(
+            _refresh_packet(
+                capsule.data,
+                MessageKind(capsule.kind),
+                capsule.created_ps,
+                capsule.tenant,
+                capsule.request_ctx,
+                capsule.e2e_t0,
+            ),
+            self.port,
+        )

@@ -39,3 +39,12 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
+
+    def test_rack_reports_equivalence(self, capsys):
+        assert main(["rack", "--nics", "3", "--frames", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-identical reports : yes" in out
+        assert "monolithic" in out
+        assert "sharded" in out
+        assert "speedup" in out

@@ -177,3 +177,29 @@ class TestSeededRng:
 
     def test_bytes_length(self):
         assert len(SeededRng(0).bytes(17)) == 17
+
+    def test_fork_is_interpreter_stable(self):
+        """Forked streams must not depend on PYTHONHASHSEED: str hashing
+        is randomized per interpreter launch, and a hash()-salted fork
+        gave every process (and every spawn-context shard worker) its
+        own hostmem-jitter stream -- run-to-run timestamps drifted."""
+        import subprocess
+        import sys
+
+        script = ("from repro.sim.rng import SeededRng; "
+                  "print(SeededRng(3).fork('hostmem').seed, "
+                  "SeededRng(3).fork('hostmem').randint(0, 10**9))")
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": seed},
+                capture_output=True, text=True, check=True,
+            ).stdout
+            for seed in ("0", "1", "31337")
+        }
+        assert len(outs) == 1
+
+    def test_fork_streams_are_independent(self):
+        rng = SeededRng(7)
+        assert rng.fork("a").seed != rng.fork("b").seed
+        assert rng.fork("a").seed == rng.fork("a").seed
