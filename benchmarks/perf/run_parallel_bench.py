@@ -33,6 +33,11 @@ checked-in ``parallel_events_per_sec`` floor and exits non-zero below
 speedup depends on the runner's core count, so gating on it would flap
 on small CI machines, while single-core event throughput only regresses
 when the code slows down.
+
+``--trace-out PATH`` additionally runs the incast once sharded across
+the largest worker count *with telemetry enabled* and writes the
+coordinator-merged spans as Chrome trace-event JSON (an artifact CI
+uploads).  The perf measurements above stay telemetry-free.
 """
 
 from __future__ import annotations
@@ -88,6 +93,9 @@ def main(argv=None) -> int:
     parser.add_argument("--floor", default=None,
                         help="floor JSON to regress events/sec against")
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--trace-out", default=None,
+                        help="also write a merged telemetry trace.json "
+                             "from a sharded telemetry-enabled run")
     args = parser.parse_args(argv)
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
 
@@ -139,6 +147,20 @@ def main(argv=None) -> int:
             {"workload": key, "metric": "sync_rounds",
              "value": sharded.rounds},
         ]
+
+    if args.trace_out:
+        from repro.telemetry import TelemetryConfig
+        from repro.telemetry.export import write_chrome_trace
+
+        traced_topo = rack_topology(
+            nics=args.nics, frames=args.frames, gap_ps=args.gap_ns * NS,
+            propagation_ps=args.prop_ns * NS, seed=args.seed,
+            telemetry=TelemetryConfig(sample_every=4),
+        )
+        traced = run_sharded(traced_topo, workers=max(worker_counts))
+        count = write_chrome_trace(args.trace_out, traced.trace or {})
+        print(f"wrote {count} merged trace events from the "
+              f"{max(worker_counts)}-worker run to {args.trace_out}")
 
     payload = envelope(
         bench="rack_shard_parallel",

@@ -91,12 +91,13 @@ def _count_deliveries(nic: PanicNic) -> Dict[str, int]:
 
 
 def chaining_uncontended(fast_path: bool = True, seed: int = 1,
-                         frames: int = 400) -> dict:
+                         frames: int = 400, telemetry=None) -> dict:
     """Deep five-engine chain, one packet in flight at a time."""
     sim = Simulator()
     chain = ["checksum", "checksum1", "checksum2", "checksum3", "checksum4"]
     nic = PanicNic(sim, PanicConfig(
         ports=1, offloads=tuple(chain), seed=seed, fast_path=fast_path,
+        telemetry=telemetry,
     ))
     nic.control.route_dscp(1, chain)
     bits = _count_deliveries(nic)

@@ -8,7 +8,8 @@ Usage::
     python -m repro demo        # the quickstart KV GET, end to end
     python -m repro faults      # crash-and-failover fault-tolerance demo
     python -m repro rack        # sharded rack-scale run vs monolithic
-    python -m repro all         # everything above (except rack)
+    python -m repro trace       # per-packet telemetry -> trace.json + timeline
+    python -m repro all         # everything above (except rack/trace)
 
 The heavier experiments (HOL blocking, isolation, ablations) live in
 ``benchmarks/`` where pytest-benchmark records their runtimes.
@@ -190,6 +191,52 @@ def cmd_rack(nics: int = 4, workers: int = 0, frames: int = 40,
         raise SystemExit("sharded run diverged from the monolithic run")
 
 
+def cmd_trace(frames: int = 32, sample_every: int = 1,
+              timeline: int = 3, out: str = "trace.json") -> None:
+    """Trace an offload-chain run: write a Perfetto-loadable trace.json
+    and print the first few packets' timelines (DESIGN.md section 11)."""
+    from repro import PanicConfig, PanicNic, Simulator
+    from repro.packet import build_udp_frame
+    from repro.packet.packet import MessageKind, Packet
+    from repro.sim.clock import NS, US, format_time
+    from repro.telemetry import TelemetryConfig
+    from repro.telemetry.export import format_timeline, write_chrome_trace
+
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("ipsec", "compression", "checksum"),
+        telemetry=TelemetryConfig(
+            sample_every=sample_every, probe_period_ps=1 * US,
+        ),
+    ))
+    nic.control.route_dscp(1, ["ipsec", "compression", "checksum"])
+    frame = build_udp_frame(
+        src_mac="02:00:00:00:00:01", dst_mac="02:00:00:00:00:02",
+        src_ip="10.0.0.1", dst_ip="10.0.0.2",
+        src_port=1000, dst_port=9, dscp=1, payload=bytes(256),
+    )
+    for i in range(frames):
+        sim.schedule_at(
+            i * 700 * NS, nic.inject, Packet(frame, MessageKind.ETHERNET))
+    sim.run()
+    tel = nic.telemetry
+    events = write_chrome_trace(
+        out, {nic.name: tel.tracer.sorted_spans()},
+        {nic.name: tel.probes.series()},
+    )
+    summary = tel.summary()
+    print(f"traced {summary['sampled']}/{summary['seen']} frames "
+          f"({summary['spans']} spans, {summary['dropped_spans']} dropped) "
+          f"through the {len(nic.engines)}-engine chain")
+    print(f"finished at {format_time(sim.now)}; "
+          f"delivered {nic.stats()['host']['rx_delivered']} to the host")
+    print(f"wrote {events} trace events to {out} "
+          "(load it at https://ui.perfetto.dev)")
+    print()
+    print(format_timeline(tel.tracer.sorted_spans(), limit=timeline))
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -197,6 +244,7 @@ COMMANDS = {
     "demo": cmd_demo,
     "faults": cmd_faults,
     "rack": cmd_rack,
+    "trace": cmd_trace,
 }
 
 
@@ -223,9 +271,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="wire propagation delay, ns (the lookahead)")
     rack.add_argument("--pattern", choices=("symmetric", "fanin"),
                       default="symmetric", help="traffic pattern")
+    trace = parser.add_argument_group("trace options (--frames applies too)")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="trace 1 in N injected frames (0: predicate only)")
+    trace.add_argument("--trace-out", default="trace.json",
+                       help="Chrome trace-event JSON output path")
+    trace.add_argument("--timeline", type=int, default=3,
+                       help="packet timelines to print")
     args = parser.parse_args(argv)
     if args.command == "all":
-        # rack spawns worker processes; keep "all" single-process.
+        # rack spawns worker processes and trace writes a file; keep
+        # "all" single-process and side-effect free.
         for name in ("table1", "table2", "table3", "demo", "faults"):
             COMMANDS[name]()
             print()
@@ -233,6 +289,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_rack(nics=args.nics, workers=args.workers, frames=args.frames,
                  gap_ns=args.gap_ns, prop_ns=args.prop_ns,
                  pattern=args.pattern)
+    elif args.command == "trace":
+        cmd_trace(frames=args.frames, sample_every=args.sample_every,
+                  timeline=args.timeline, out=args.trace_out)
     else:
         COMMANDS[args.command]()
     return 0

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.sim.clock import MHZ, NS, US
+from repro.telemetry.config import TelemetryConfig
 
 #: Offload engines the builder knows how to instantiate.
 KNOWN_OFFLOADS = (
@@ -104,6 +105,12 @@ class PanicConfig:
     # without an entry fall back to the default Figure-3c layout.  See
     # repro.noc.placement for optimizers that produce these maps.
     placement: Optional[Dict[str, Tuple[int, int]]] = None
+
+    # In-sim telemetry (repro.telemetry): per-packet spans + component
+    # probes.  None (default) builds no telemetry at all; instrumented
+    # paths then pay only a None check.  Observation-only either way --
+    # stats() and timestamps are bit-identical with it on or off.
+    telemetry: Optional[TelemetryConfig] = None
 
     # Determinism.
     seed: int = 0

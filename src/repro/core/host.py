@@ -63,6 +63,8 @@ class Host(Component):
         self.mem_reads = Counter(f"{name}.mem_reads")
         self.mem_writes = Counter(f"{name}.mem_writes")
         self.software_latency = LatencyTracker(f"{name}.software_latency")
+        # Set by repro.telemetry; None-checked on the RX-ring path only.
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # Memory (what the DMA engine touches)
@@ -96,6 +98,11 @@ class Host(Component):
         if not 0 <= queue < len(self.rx_rings):
             queue = 0
         packet.meta.annotations["host_rx_ps"] = self.now
+        if self._tracer is not None:
+            ctx = packet.meta.annotations.get("__trace__")
+            if ctx is not None:
+                self._tracer.instant(ctx, "host", self.name, self.now,
+                                     (("queue", queue),))
         self.rx_rings[queue].append(packet)
         self.rx_delivered.add()
 

@@ -108,6 +108,12 @@ class PanicNic:
         self.ports: List[EthernetPort] = []
         self._build_engines()
         self._wire()
+        self.telemetry = None
+        tcfg = self.config.telemetry
+        if tcfg is not None and tcfg.enabled:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -287,6 +293,11 @@ class PanicNic:
         if not 0 <= port < len(self.ports):
             raise ValueError(f"no port {port}; NIC has {len(self.ports)}")
         packet.meta.created_ps = packet.meta.created_ps or self.sim.now
+        if self.telemetry is not None:
+            # Sampling decision at the NIC boundary, in arrival order:
+            # wire and shard-boundary deliveries both funnel through
+            # inject, so the sampled set is execution-mode independent.
+            self.telemetry.tracer.maybe_trace(packet, self.sim.now, port)
         return self.ports[port].inject_rx(packet)
 
     def on_transmit(self, callback: Callable[[Packet], None]) -> None:

@@ -141,6 +141,9 @@ class Engine(Component, Endpoint):
         #: ``"crash"`` = dead tile (black-holes all traffic), ``"stall"``
         #: = accepts but never serves.
         self.fault_mode: Optional[str] = None
+        #: Set by repro.telemetry.Telemetry; instrumented paths pay only
+        #: this None check when telemetry is off.
+        self._tracer = None
         #: Service-time multiplier for injected slowdowns (1.0 = nominal).
         self.slowdown: float = 1.0
         # Statistics every experiment reads.
@@ -199,11 +202,20 @@ class Engine(Component, Endpoint):
 
     def receive(self, message: NocMessage) -> None:
         """Rank by slack deadline, enqueue, maybe start service."""
+        tracer = self._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         if self.fault_mode == FAULT_CRASH:
             self.blackholed.add()
+            if ctx is not None:
+                tracer.instant(ctx, "blackholed", self.name, self.now)
             return
         rank, droppable = self._rank_of(message)
         message.packet.meta.annotations["enqueue_ps"] = self.now
+        if ctx is not None:
+            # Queue depth *before* the push: what this packet saw on arrival.
+            tracer.begin_engine(ctx, self.name, self.now, len(self.queue),
+                                rank, droppable)
         try:
             accepted = self.queue.push(message, rank, droppable)
         except PifoFullError:
@@ -211,9 +223,14 @@ class Engine(Component, Endpoint):
             # leaves NoC flow control open (section 6); surface it loudly
             # rather than silently dropping a lossless message.
             self.rejected.add()
+            if ctx is not None:
+                tracer.end_engine(ctx, self.now, status="overflow")
             raise
         if accepted:
             self._try_start()
+        elif ctx is not None:
+            # The PIFO refused the droppable incoming message outright.
+            tracer.end_engine(ctx, self.now, status="dropped_at_enqueue")
 
     # ------------------------------------------------------------------
     # Service loop
@@ -232,6 +249,10 @@ class Engine(Component, Endpoint):
             now = self.now
             enq = message.packet.meta.annotations.pop("enqueue_ps", now)
             self.queue_latency.observe(enq, now)
+            if self._tracer is not None:
+                ctx = message.packet.meta.annotations.get("__trace__")
+                if ctx is not None:
+                    ctx.service_start = now
             delay = self.service_time_ps(message.packet)
             if self.slowdown != 1.0:
                 delay = int(delay * self.slowdown)
@@ -244,12 +265,19 @@ class Engine(Component, Endpoint):
 
     def _finish(self, message: NocMessage, started_ps: int) -> None:
         self._busy_lanes -= 1
+        tracer = self._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         if self.fault_mode == FAULT_CRASH:
             # The engine died while this message was in service.
             self.blackholed.add()
+            if ctx is not None and ctx.open_component is not None:
+                tracer.end_engine(ctx, self.now, status="blackholed")
             return
         self.processed.value += 1
         self.service_latency.observe(started_ps, self.now)
+        if ctx is not None:
+            tracer.end_engine(ctx, self.now)
         packet = message.packet
         if self._echo_heartbeat(packet):
             self._try_start()

@@ -117,18 +117,29 @@ class RmtPipelineEngine(Engine):
             self._next_accept_ps = start + self.initiation_interval_ps
             enq = message.packet.meta.annotations.pop("enqueue_ps", self.now)
             self.queue_latency.observe(enq, self.now)
+            if self._tracer is not None:
+                ctx = message.packet.meta.annotations.get("__trace__")
+                if ctx is not None:
+                    ctx.service_start = start
             finish = start + self.latency_ps
             self.schedule(finish - self.now, self._finish_rmt, message, start)
 
     def _finish_rmt(self, message: NocMessage, started_ps: int) -> None:
         from repro.engines.base import FAULT_CRASH
 
+        tracer = self._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         if self.fault_mode == FAULT_CRASH:
             self.blackholed.add()
+            if ctx is not None and ctx.open_component is not None:
+                tracer.end_engine(ctx, self.now, status="blackholed")
             return
         self.processed.add()
         self.pps_meter.record(self.now)
         self.service_latency.observe(started_ps, self.now)
+        if ctx is not None:
+            tracer.end_engine(ctx, self.now)
         packet = message.packet
         if self._echo_heartbeat(packet):
             self._try_start()

@@ -96,6 +96,8 @@ class Channel(Component):
         # each entry applies to one future transfer completion.
         self._fault_corruptions: Deque[tuple] = deque()
         self._fault_drops: Deque[bool] = deque()
+        # Set by repro.telemetry; None-checked on the completion path only.
+        self._tracer = None
         # Statistics.
         self.sent = Counter(f"{name}.sent")
         self.bits_sent = Counter(f"{name}.bits")
@@ -235,6 +237,9 @@ class Channel(Component):
 
     def _complete(self, message: "NocMessage") -> None:
         self._transfer_in_progress = False
+        tracer = self._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         if self._fault_drops:
             leak = self._fault_drops.popleft()
             self.dropped_flits.add()
@@ -242,12 +247,21 @@ class Channel(Component):
                 self.leaked_credits.add()
             else:
                 self._credits += 1
+            if ctx is not None:
+                tracer.instant(ctx, "wire_drop", self.name, self.now)
             self._try_start()
             return
         if self._fault_corruptions:
             rng, bits, offset = self._fault_corruptions.popleft()
             self._apply_corruption(message, rng, bits, offset)
         message.hops += 1
+        if ctx is not None:
+            # The transfer window is [now - serialization, now]: identical
+            # to the arithmetic window express flights synthesize, so
+            # fast- and slow-path traces line up span for span.
+            tracer.hop(ctx, self.name,
+                       self.now - self._serialization_ps(message.bits),
+                       self.now)
         self.deliver(message, self)
         self._try_start()
 

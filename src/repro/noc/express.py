@@ -133,10 +133,17 @@ class ExpressFlight:
         bits = self.bits
         ser = self.ser
         end = self.start
+        tracer = self.channels[0]._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         for channel in self.channels:
             begin = end
             end += ser
             channel._account_express_hop(bits, begin, end)
+            if ctx is not None:
+                # Synthesized from the arithmetic hop windows: identical
+                # to the spans a slow-path walk would have emitted.
+                tracer.hop(ctx, channel.name, begin, end)
             message.hops += 1
         for router in self.routers[self.committed:]:
             router._account_express_forward()
@@ -167,11 +174,16 @@ class ExpressFlight:
         ser = self.ser
         routers = self.routers
         end = self.start
+        tracer = self.channels[0]._tracer
+        ctx = (message.packet.meta.annotations.get("__trace__")
+               if tracer is not None else None)
         for index, channel in enumerate(self.channels):
             begin = end
             end += ser
             if end < now:
                 channel._account_express_hop(bits, begin, end)
+                if ctx is not None:
+                    tracer.hop(ctx, channel.name, begin, end)
                 message.hops += 1
                 if index >= self.committed:
                     routers[index]._account_express_forward()

@@ -96,6 +96,8 @@ class Router(Component):
         self._buffered = 0
         self.forwarded = Counter(f"{name}.forwarded")
         self.delivered = Counter(f"{name}.delivered")
+        # Set by repro.telemetry; None-checked on the refusal path only.
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # Wiring (done by the Mesh builder)
@@ -193,6 +195,12 @@ class Router(Component):
             if not self.endpoint.try_receive(message):
                 # Endpoint full: hold the message here; its credit stays
                 # consumed, backpressuring the upstream path.
+                if self._tracer is not None:
+                    ctx = message.packet.meta.annotations.get("__trace__")
+                    if ctx is not None:
+                        self._tracer.instant(
+                            ctx, "refused", self.name, self.now,
+                            (("dest", message.dest_addr),))
                 return False
             self.delivered.value += 1
             return True

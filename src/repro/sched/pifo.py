@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Generic, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Generic, List, Optional, Tuple, TypeVar
 
 from repro.sim.stats import Counter
 
@@ -52,6 +52,9 @@ class PifoQueue(Generic[T]):
         self.dropped = Counter(f"{name}.dropped")
         self.rank_corruptions = Counter(f"{name}.rank_corruptions")
         self.max_occupancy = 0
+        #: Observer called with the evicted item when drop-worst fires
+        #: (set by repro.telemetry; must not mutate the queue).
+        self.on_evict: Optional[Callable[[T], None]] = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -109,10 +112,13 @@ class PifoQueue(Generic[T]):
         if worst_key[0] < incoming_rank:
             # The incoming item is worse than every droppable resident.
             return False
+        evicted = self._heap[worst_index][3]
         self._heap[worst_index] = self._heap[-1]
         self._heap.pop()
         heapq.heapify(self._heap)
         self.dropped.add()
+        if self.on_evict is not None:
+            self.on_evict(evicted)
         return True
 
     def corrupt_ranks(self, rng) -> int:

@@ -10,7 +10,13 @@ clock convert between cycles and picoseconds through a :class:`Clock`.
 
 from repro.sim.clock import Clock, GHZ, MHZ, NS, PS, US, MS, SEC
 from repro.sim.kernel import Event, Simulator, SimError, Component
-from repro.sim.stats import Counter, Histogram, LatencyTracker, RateMeter
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencyTracker,
+    RateMeter,
+    TimeSeries,
+)
 from repro.sim.rng import SeededRng
 
 __all__ = [
@@ -30,5 +36,6 @@ __all__ = [
     "SEC",
     "SimError",
     "Simulator",
+    "TimeSeries",
     "US",
 ]

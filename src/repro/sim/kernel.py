@@ -120,6 +120,10 @@ class Simulator:
         self._finished = False
         self._pool: List[Event] = []
         self._cancelled_pending = 0
+        # Passive observers called after every fired event (telemetry
+        # probes).  Empty on the hot path: run()'s inlined drain loop is
+        # taken only when no hooks are installed.
+        self._after_hooks: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # Component registry
@@ -202,6 +206,23 @@ class Simulator:
         else:
             heapq.heappush(self._heap, (when, seq, event))
         return event
+
+    def add_after_event_hook(self, hook: Callable[[int], None]) -> None:
+        """Register ``hook(now_ps)`` to run after every fired event.
+
+        Hooks are pure *observers*: they must not schedule or cancel
+        events, advance time, or mutate component state -- the kernel
+        gives no ordering or reentrancy guarantees beyond "after the
+        event's callback returned".  Installing any hook routes ``run()``
+        through the generic step loop instead of the inlined drain loop
+        (identical semantics, measurably slower), which is why telemetry
+        installs one only when probes are actually configured.
+        """
+        self._after_hooks.append(hook)
+
+    def remove_after_event_hook(self, hook: Callable[[int], None]) -> None:
+        """Unregister a hook added by :meth:`add_after_event_hook`."""
+        self._after_hooks.remove(hook)
 
     def _note_cancelled(self) -> None:
         self._cancelled_pending += 1
@@ -306,6 +327,10 @@ class Simulator:
             event.fn = None
             event.args = ()
             self._pool.append(event)
+        if self._after_hooks:
+            now = self.now
+            for hook in self._after_hooks:
+                hook(now)
         return True
 
     def run(
@@ -334,11 +359,13 @@ class Simulator:
                 f"on_max_events must be 'return' or 'raise', got {on_max_events!r}"
             )
         fired = 0
-        if until_ps is None and max_events is None:
-            # No deadline and no budget: drain with the pop/fire machinery
-            # of step()/_pop_next() inlined -- two call levels per event is
-            # measurable at this volume.  ``_compact`` mutates the heap and
-            # FIFO in place, keeping the local aliases valid.
+        if until_ps is None and max_events is None and not self._after_hooks:
+            # No deadline, no budget, no observers: drain with the
+            # pop/fire machinery of step()/_pop_next() inlined -- two call
+            # levels per event is measurable at this volume.  ``_compact``
+            # mutates the heap and FIFO in place, keeping the local
+            # aliases valid.  (After-event hooks route through the
+            # generic step() loop below instead.)
             heap = self._heap
             fifo = self._fifo
             pool = self._pool

@@ -84,6 +84,10 @@ class ShardRunResult:
     rounds: int = 0                # sync barriers (0 for monolithic)
     lookahead_ps: int = 0
     final_ps: Dict[str, int] = field(default_factory=dict)  # per-NIC sim.now
+    #: Merged telemetry: nic name -> canonical span list, or None when no
+    #: NIC ran with telemetry.  Span ids are execution-mode independent,
+    #: so this merge is comparable between monolithic and sharded runs.
+    trace: Optional[Dict[str, list]] = None
 
 
 def _mp_context():
@@ -122,13 +126,17 @@ def run_monolithic(topology: RackTopology) -> ShardRunResult:
         )
     fired = sim.run()
     wall = time.perf_counter() - t0
+    from repro.telemetry.export import merge_trace_reports
+
+    gathered = {name: report() for name, report in reports.items()}
     return ShardRunResult(
         mode="monolithic",
         workers=1,
-        reports={name: report() for name, report in reports.items()},
+        reports=gathered,
         events_fired=fired,
         wall_seconds=wall,
         final_ps={name: sim.now for name in nics},
+        trace=merge_trace_reports(gathered),
     )
 
 
@@ -355,6 +363,8 @@ def run_sharded(
         wall = time.perf_counter() - t0
         for proc in procs:
             proc.join(timeout=30)
+        from repro.telemetry.export import merge_trace_reports
+
         return ShardRunResult(
             mode="sharded",
             workers=workers,
@@ -364,6 +374,7 @@ def run_sharded(
             rounds=rounds,
             lookahead_ps=lookahead,
             final_ps=final_ps,
+            trace=merge_trace_reports(reports),
         )
     finally:
         for proc in procs:

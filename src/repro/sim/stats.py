@@ -44,21 +44,31 @@ class Histogram:
     Samples are kept (as a list) and sorted lazily on query.  For the scales
     this library runs at (at most a few million samples per experiment) this
     is simpler and more accurate than approximate sketches.
+
+    Empty-histogram semantics: ``mean``/``minimum``/``maximum`` return
+    ``nan`` and ``summary()`` returns ``{"count": 0}``, so reporting code
+    survives zero-delivery runs; ``percentile``/``cdf`` still raise --
+    there is no meaningful quantile of nothing, and a silent default
+    would corrupt downstream math.
     """
 
-    __slots__ = ("name", "_samples", "_sorted")
+    __slots__ = ("name", "_samples", "_sorted", "_total")
 
     def __init__(self, name: str = "histogram"):
         self.name = name
         self._samples: List[float] = []
         self._sorted = True
+        self._total = 0
 
     def record(self, value: float) -> None:
         self._samples.append(value)
+        self._total += value
         self._sorted = False
 
     def record_many(self, values: Iterable[float]) -> None:
+        values = list(values)
         self._samples.extend(values)
+        self._total += sum(values)
         self._sorted = False
 
     @property
@@ -67,24 +77,25 @@ class Histogram:
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        """Running sum of all samples (cached, not re-summed per query)."""
+        return self._total
 
     @property
     def mean(self) -> float:
         if not self._samples:
-            raise ValueError(f"histogram {self.name!r} is empty")
-        return self.total / len(self._samples)
+            return float("nan")
+        return self._total / len(self._samples)
 
     @property
     def minimum(self) -> float:
         if not self._samples:
-            raise ValueError(f"histogram {self.name!r} is empty")
+            return float("nan")
         return min(self._samples)
 
     @property
     def maximum(self) -> float:
         if not self._samples:
-            raise ValueError(f"histogram {self.name!r} is empty")
+            return float("nan")
         return max(self._samples)
 
     @property
@@ -134,7 +145,14 @@ class Histogram:
         return bisect_right(self._samples, value) / len(self._samples)
 
     def summary(self) -> Dict[str, float]:
-        """Return a dict of the usual summary statistics."""
+        """Return a dict of the usual summary statistics.
+
+        An empty histogram summarizes to ``{"count": 0}`` -- no made-up
+        quantiles, but reporting loops over many histograms don't blow
+        up on the ones a run never touched.
+        """
+        if not self._samples:
+            return {"count": 0}
         return {
             "count": self.count,
             "mean": self.mean,
@@ -182,6 +200,9 @@ class RateMeter:
 
     ``record(now_ps, amount)`` accumulates; ``rate_per_sec(now_ps)`` divides
     by elapsed simulated time since the meter was started (or reset).
+    When called without ``now_ps`` the rate is measured up to the last
+    recorded sample, so trailing idle time is not averaged in; pass the
+    current clock explicitly to include it.
     """
 
     __slots__ = ("name", "start_ps", "total", "last_ps")
@@ -206,9 +227,63 @@ class RateMeter:
         return self.total * SEC / (end - self.start_ps)
 
     def reset(self, now_ps: int) -> None:
+        """Restart the measurement window at ``now_ps``.
+
+        The accumulated total is discarded and the last-sample marker is
+        cleared, so ``rate_per_sec()`` reads 0.0 until the next
+        ``record`` -- a reset meter has observed nothing yet, and stale
+        pre-reset samples must not leak into the new window.
+        """
         self.start_ps = now_ps
         self.total = 0.0
         self.last_ps = None
 
     def __repr__(self) -> str:
         return f"RateMeter({self.name}, total={self.total})"
+
+
+class TimeSeries:
+    """A bounded (time_ps, value) gauge series for component probes.
+
+    Appends are O(1); once ``max_samples`` points are held, further
+    samples are counted in ``dropped`` instead of stored -- probes must
+    never grow without bound inside long simulations.  The early samples
+    are kept (rather than a sliding window) so the series start always
+    aligns across components.
+    """
+
+    __slots__ = ("name", "unit", "max_samples", "dropped", "_t", "_v")
+
+    def __init__(self, name: str = "series", unit: str = "",
+                 max_samples: int = 4096):
+        if max_samples <= 0:
+            raise ValueError(f"max_samples must be > 0, got {max_samples}")
+        self.name = name
+        self.unit = unit
+        self.max_samples = max_samples
+        self.dropped = 0
+        self._t: List[int] = []
+        self._v: List[float] = []
+
+    def record(self, t_ps: int, value: float) -> None:
+        if len(self._t) >= self.max_samples:
+            self.dropped += 1
+            return
+        self._t.append(t_ps)
+        self._v.append(value)
+
+    def items(self) -> List[tuple]:
+        """The recorded ``(time_ps, value)`` points, in record order."""
+        return list(zip(self._t, self._v))
+
+    @property
+    def count(self) -> int:
+        return len(self._t)
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __repr__(self) -> str:
+        return (f"TimeSeries({self.name}, n={self.count}"
+                + (f", dropped={self.dropped}" if self.dropped else "")
+                + ")")

@@ -1,0 +1,66 @@
+"""Configuration for the in-sim telemetry layer.
+
+Kept in a leaf module (no imports from the rest of the library) so
+:mod:`repro.core.config` can embed a :class:`TelemetryConfig` without an
+import cycle, and so the dataclass stays picklable for sharded rack runs
+(:mod:`repro.sim.shard` ships NIC builder params to worker processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class TelemetryConfig:
+    """Knobs for per-packet tracing and component probes.
+
+    Attaching a ``TelemetryConfig`` to ``PanicConfig.telemetry`` turns
+    telemetry on for that NIC; the default ``PanicConfig`` carries
+    ``None`` (fully disabled, near-zero overhead -- see DESIGN.md
+    section 11 and the ``telemetry_idle`` gate in ``BENCH_kernel``).
+    """
+
+    #: Master switch; ``enabled=False`` behaves exactly like carrying no
+    #: TelemetryConfig at all (nothing is wired).
+    enabled: bool = True
+
+    #: Deterministic 1-in-N packet sampling at ``PanicNic.inject``,
+    #: drawn from the NIC's seeded RNG (fork ``"telemetry"``), so the
+    #: sampled capsule set is identical across runs *and* across shard
+    #: worker counts.  ``0`` disables random sampling (predicate only).
+    sample_every: int = 1
+
+    #: Optional flow trigger: ``predicate(packet) -> bool`` traces every
+    #: matching packet regardless of sampling.  Must be a module-level
+    #: (picklable) function when the config travels to shard workers.
+    flow_predicate: Optional[Callable] = None
+
+    #: Ring-buffer bound on retained spans per NIC; the oldest spans are
+    #: evicted beyond this (counted in ``PacketTracer.dropped_spans``).
+    max_spans: int = 65536
+
+    #: Simulated-time cadence for component probes (gauges), in ps.
+    #: ``0`` disables probes entirely -- no kernel hook is installed, so
+    #: the event loop keeps its fully inlined drain path.
+    probe_period_ps: int = 0
+
+    #: Bound on retained samples per probe time-series.
+    probe_max_samples: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 0:
+            raise ValueError(
+                f"sample_every must be >= 0, got {self.sample_every}"
+            )
+        if self.max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {self.max_spans}")
+        if self.probe_period_ps < 0:
+            raise ValueError(
+                f"probe_period_ps must be >= 0, got {self.probe_period_ps}"
+            )
+        if self.probe_max_samples <= 0:
+            raise ValueError(
+                f"probe_max_samples must be positive, got {self.probe_max_samples}"
+            )

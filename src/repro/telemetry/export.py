@@ -1,0 +1,151 @@
+"""Trace exporters: Chrome trace-event JSON and plain-text timelines.
+
+``write_chrome_trace`` emits the Trace Event Format consumed by Perfetto
+(https://ui.perfetto.dev) and chrome://tracing: one *process* per NIC,
+one *thread* (track) per component, complete ("X") events for engine and
+hop spans, instant ("i") events for point records, and counter ("C")
+tracks for probe time-series.  Timestamps are microseconds (floats), so
+picosecond sim time keeps sub-ns resolution.
+
+``format_timeline`` renders a human-readable per-packet walk for the
+``python -m repro trace`` CLI.  ``merge_trace_reports`` assembles the
+coordinator-side merged trace from per-NIC rack reports (sharded or
+monolithic -- span ids are mode-independent, so the merge is a plain
+collection keyed by NIC name).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+#: ps -> Chrome-trace microseconds.
+_PS_PER_US = 1e6
+
+#: Span kinds rendered as duration ("X") events even when synthesized
+#: spans collapse to zero length; everything else becomes an instant.
+_DURATION_KINDS = ("engine", "hop")
+
+
+def _span_fields(span) -> tuple:
+    """Accept Span namedtuples or the plain tuples of a report."""
+    trace_id, seq, kind, component, start_ps, end_ps, args = span
+    return trace_id, seq, kind, component, start_ps, end_ps, args
+
+
+def chrome_trace_events(
+    spans_by_nic: Dict[str, Sequence],
+    series_by_nic: Optional[Dict[str, Dict[str, object]]] = None,
+) -> List[dict]:
+    """Build the ``traceEvents`` list: one pid per NIC, one tid per
+    component, plus counter tracks for any probe series."""
+    events: List[dict] = []
+    for pid, nic in enumerate(sorted(spans_by_nic)):
+        events.append({
+            "ph": "M", "pid": pid, "name": "process_name",
+            "args": {"name": nic},
+        })
+        tids: Dict[str, int] = {}
+        for span in spans_by_nic[nic]:
+            trace_id, seq, kind, component, start_ps, end_ps, args = (
+                _span_fields(span))
+            tid = tids.get(component)
+            if tid is None:
+                tid = tids[component] = len(tids)
+                events.append({
+                    "ph": "M", "pid": pid, "tid": tid,
+                    "name": "thread_name", "args": {"name": component},
+                })
+            span_args = dict(args)
+            span_args["trace_id"] = trace_id
+            span_args["seq"] = seq
+            if kind in _DURATION_KINDS:
+                events.append({
+                    "ph": "X", "pid": pid, "tid": tid,
+                    "name": kind, "cat": kind,
+                    "ts": start_ps / _PS_PER_US,
+                    "dur": (end_ps - start_ps) / _PS_PER_US,
+                    "args": span_args,
+                })
+            else:
+                events.append({
+                    "ph": "i", "pid": pid, "tid": tid,
+                    "name": kind, "cat": "instant", "s": "t",
+                    "ts": start_ps / _PS_PER_US,
+                    "args": span_args,
+                })
+        if series_by_nic:
+            for name, series in sorted(
+                    (series_by_nic.get(nic) or {}).items()):
+                points = series.items()
+                if not any(value for _t, value in points):
+                    continue  # all-zero gauges only clutter the UI
+                for t_ps, value in points:
+                    events.append({
+                        "ph": "C", "pid": pid, "name": name,
+                        "ts": t_ps / _PS_PER_US,
+                        "args": {"value": value},
+                    })
+    return events
+
+
+def write_chrome_trace(
+    path: str,
+    spans_by_nic: Dict[str, Sequence],
+    series_by_nic: Optional[Dict[str, Dict[str, object]]] = None,
+) -> int:
+    """Write a Perfetto-loadable ``trace.json``; returns the event count."""
+    events = chrome_trace_events(spans_by_nic, series_by_nic)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
+    return len(events)
+
+
+def _fmt_ns(ps: int) -> str:
+    return f"{ps / 1000:.1f}ns"
+
+
+def format_timeline(spans: Iterable, limit: Optional[int] = None) -> str:
+    """Human-readable per-packet walk of ``spans`` (any NIC's report or
+    ``sorted_spans()``), at most ``limit`` traces."""
+    by_trace: Dict[int, List[tuple]] = {}
+    for span in spans:
+        fields = _span_fields(span)
+        by_trace.setdefault(fields[0], []).append(fields)
+    lines: List[str] = []
+    for count, trace_id in enumerate(sorted(by_trace)):
+        if limit is not None and count >= limit:
+            lines.append(
+                f"... and {len(by_trace) - limit} more traced packets")
+            break
+        lines.append(f"packet trace {trace_id}:")
+        rows = sorted(by_trace[trace_id], key=lambda f: (f[4], f[1]))
+        for _tid, _seq, kind, component, start_ps, end_ps, args in rows:
+            detail = " ".join(f"{k}={v}" for k, v in args)
+            if end_ps > start_ps:
+                lines.append(
+                    f"  @{_fmt_ns(start_ps):>12}  {kind:<8} {component}"
+                    f"  +{_fmt_ns(end_ps - start_ps)}"
+                    + (f"  [{detail}]" if detail else ""))
+            else:
+                lines.append(
+                    f"  @{_fmt_ns(start_ps):>12}  {kind:<8} {component}"
+                    + (f"  [{detail}]" if detail else ""))
+    return "\n".join(lines) if lines else "no spans recorded"
+
+
+def merge_trace_reports(reports: Dict[str, dict]) -> Optional[Dict[str, list]]:
+    """Collect per-NIC span lists out of rack ``report()`` dicts.
+
+    Returns ``None`` when no NIC carried telemetry.  Span ids are
+    mode-independent (see :mod:`repro.telemetry.tracer`), so merging a
+    sharded run's per-worker reports is the same keyed collection as the
+    monolithic case -- which is exactly what makes the merged traces
+    comparable across execution modes.
+    """
+    merged = {
+        name: list(report["trace"])
+        for name, report in reports.items()
+        if isinstance(report, dict) and "trace" in report
+    }
+    return merged or None

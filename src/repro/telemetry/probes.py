@@ -1,0 +1,69 @@
+"""Component probes: gauges sampled on a simulated-time cadence.
+
+A :class:`ProbeRegistry` holds named gauge functions (PIFO depth, engine
+busy fraction, channel credit occupancy, router input-queue depth, ...)
+and samples them into :class:`~repro.sim.stats.TimeSeries` whenever the
+simulation clock crosses a period boundary.
+
+Sampling is driven *passively* from the kernel's after-event hook (see
+``Simulator.add_after_event_hook``): probes never schedule events, so
+``events_fired``, timestamps, and every simulation statistic stay
+bit-identical to an unprobed run.  The cost is that samples land on the
+first event *at or after* each period boundary rather than exactly on
+it -- fine for gauges, and the only way to observe a discrete-event
+world without perturbing it.
+
+Probe series are intentionally **per-worker state**: event timestamps
+(and hence sampling instants) legitimately differ between monolithic and
+sharded execution, so probe data is excluded from the shard-merged trace
+reports that the equivalence tests compare -- only spans are merged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.sim.stats import TimeSeries
+
+
+class ProbeRegistry:
+    """Named gauges sampled every ``period_ps`` of simulated time."""
+
+    def __init__(self, period_ps: int, max_samples: int = 4096):
+        if period_ps < 0:
+            raise ValueError(f"probe period must be >= 0, got {period_ps}")
+        self.period_ps = period_ps
+        self.max_samples = max_samples
+        self._probes: List[Tuple[Callable[[], float], TimeSeries]] = []
+        # First event at/after time 0 takes the first sample.
+        self._due = 0
+
+    def add_gauge(self, name: str, fn: Callable[[], float],
+                  unit: str = "") -> TimeSeries:
+        """Register ``fn`` to be sampled each period; returns its series."""
+        series = TimeSeries(name, unit=unit, max_samples=self.max_samples)
+        self._probes.append((fn, series))
+        return series
+
+    def on_event(self, now_ps: int) -> None:
+        """Kernel after-event hook: sample once per crossed period."""
+        if now_ps < self._due:
+            return
+        period = self.period_ps
+        # Snap the next deadline to the period grid so a burst of events
+        # inside one period yields one sample, and quiet stretches skip
+        # ahead rather than replaying missed periods.
+        self._due = now_ps - now_ps % period + period
+        for fn, series in self._probes:
+            series.record(now_ps, fn())
+
+    def series(self) -> Dict[str, TimeSeries]:
+        """All registered series by name."""
+        return {series.name: series for _fn, series in self._probes}
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __repr__(self) -> str:
+        return (f"ProbeRegistry(period={self.period_ps}ps, "
+                f"gauges={len(self._probes)})")

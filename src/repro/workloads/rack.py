@@ -71,6 +71,7 @@ def build_rack_nic(
     pattern: str = "symmetric",
     seed: int = 0,
     fast_path: bool = True,
+    telemetry=None,
 ) -> Tuple[PanicNic, Callable[[], dict]]:
     """Build rack node ``index`` of ``n_nics``: a PANIC NIC with one port
     per peer, TX routes steering each flow's DSCP onto its cable, per-
@@ -78,7 +79,8 @@ def build_rack_nic(
 
     Returns ``(nic, report)`` where ``report()`` yields a picklable dict:
     ``stats`` (the NIC's stats tree), ``deliveries`` (sorted
-    ``(src, seq, arrival_ps, queue)`` tuples) and ``sent``.
+    ``(src, seq, arrival_ps, queue)`` tuples) and ``sent``; with
+    ``telemetry`` set, also ``trace`` (the NIC's canonical span list).
     """
     if pattern not in ("symmetric", "fanin"):
         raise ValueError(f"unknown rack pattern {pattern!r}")
@@ -87,6 +89,7 @@ def build_rack_nic(
         offloads=("checksum",),
         seed=seed + index,
         fast_path=fast_path,
+        telemetry=telemetry,
     )
     nic = PanicNic(sim, config, name=name)
 
@@ -147,11 +150,14 @@ def build_rack_nic(
     total_sent = sent
 
     def report() -> dict:
-        return {
+        rep = {
             "stats": nic.stats(),
             "deliveries": sorted(deliveries),
             "sent": total_sent,
         }
+        if nic.telemetry is not None:
+            rep["trace"] = nic.telemetry.trace_report()
+        return rep
 
     return nic, report
 
@@ -165,6 +171,7 @@ def rack_topology(
     propagation_ps: int = DEFAULT_PROPAGATION_PS,
     seed: int = 0,
     fast_path: bool = True,
+    telemetry=None,
 ) -> RackTopology:
     """An all-pairs-cabled rack of ``nics`` PANIC NICs running the given
     traffic pattern.  Every unordered pair gets one full-duplex cable;
@@ -187,6 +194,7 @@ def rack_topology(
                 "pattern": pattern,
                 "seed": seed,
                 "fast_path": fast_path,
+                "telemetry": telemetry,
             },
         )
         for i in range(nics)

@@ -1,8 +1,10 @@
 """Tests for counters, histograms, latency trackers and rate meters."""
 
+import math
+
 import pytest
 
-from repro.sim import Counter, Histogram, LatencyTracker, RateMeter
+from repro.sim import Counter, Histogram, LatencyTracker, RateMeter, TimeSeries
 from repro.sim.clock import SEC
 from repro.sim.rng import SeededRng
 
@@ -54,12 +56,50 @@ class TestHistogram:
         assert h.percentile(0) == 7
         assert h.percentile(100) == 7
 
-    def test_empty_raises(self):
+    def test_empty_statistics_are_nan(self):
+        """Zero-delivery runs must survive reporting: mean/min/max read
+        nan and summary() degrades to a bare count."""
+        h = Histogram("empty")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.minimum)
+        assert math.isnan(h.maximum)
+        assert h.summary() == {"count": 0}
+
+    def test_empty_quantiles_still_raise(self):
         h = Histogram("empty")
         with pytest.raises(ValueError):
-            h.mean
-        with pytest.raises(ValueError):
             h.percentile(50)
+        with pytest.raises(ValueError):
+            h.cdf(0)
+
+    def test_total_is_cached_and_exact(self):
+        h = Histogram()
+        h.record(3)
+        h.record_many([1.5, 2.5])
+        assert h.total == 7.0
+        assert h.mean == 7.0 / 3
+        h.record(1)
+        assert h.total == 8.0
+
+    def test_record_many_consumes_generators(self):
+        h = Histogram()
+        h.record_many(x for x in (1, 2, 3))
+        assert h.count == 3
+        assert h.total == 6
+
+    def test_percentile_duplicates(self):
+        h = Histogram()
+        h.record_many([5, 5, 5, 5])
+        for pct in (0, 25, 50, 99, 100):
+            assert h.percentile(pct) == 5
+
+    def test_percentile_extremes_single_sample(self):
+        h = Histogram()
+        h.record(7)
+        assert h.percentile(0) == 7
+        assert h.percentile(100) == 7
+        assert h.cdf(7) == 1.0
+        assert h.cdf(6.999) == 0.0
 
     def test_percentile_range_validated(self):
         h = Histogram()
@@ -131,9 +171,55 @@ class TestRateMeter:
         m.record(200 + SEC, 10)
         assert m.rate_per_sec() == 10
 
+    def test_reset_reads_zero_until_next_record(self):
+        """A reset meter has observed nothing: rate_per_sec() must not
+        divide pre-reset totals by the new window."""
+        m = RateMeter()
+        m.record(SEC, 100)
+        m.reset(2 * SEC)
+        assert m.rate_per_sec() == 0.0
+        assert m.rate_per_sec(3 * SEC) == 0.0
+
+    def test_reset_restarts_window_at_reset_instant(self):
+        m = RateMeter()
+        m.record(SEC, 1000)
+        m.reset(10 * SEC)
+        m.record(11 * SEC, 50)
+        # Window is [10s, 11s]: only the post-reset sample counts.
+        assert m.rate_per_sec() == 50
+
+    def test_implicit_end_is_last_sample(self):
+        m = RateMeter()
+        m.record(SEC // 2, 100)
+        # Implicit end excludes trailing idle time ...
+        assert m.rate_per_sec() == 200
+        # ... while an explicit clock includes it.
+        assert m.rate_per_sec(SEC) == 100
+
     def test_negative_amount_rejected(self):
         with pytest.raises(ValueError):
             RateMeter().record(0, -1)
+
+
+class TestTimeSeries:
+    def test_record_and_items(self):
+        s = TimeSeries("depth", unit="msgs")
+        s.record(0, 1)
+        s.record(100, 2.5)
+        assert s.items() == [(0, 1), (100, 2.5)]
+        assert s.count == len(s) == 2
+        assert s.unit == "msgs"
+
+    def test_bound_counts_drops(self):
+        s = TimeSeries(max_samples=2)
+        for t in range(5):
+            s.record(t, t)
+        assert s.items() == [(0, 0), (1, 1)]
+        assert s.dropped == 3
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(max_samples=0)
 
 
 class TestSeededRng:
