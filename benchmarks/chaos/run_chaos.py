@@ -1,0 +1,121 @@
+"""Seeded chaos harness for the reliable rack (the CI invariant gate).
+
+Generates one random :class:`~repro.faults.plan.FaultPlan` per seed
+(lossy/corrupting wires, link flaps, engine slowdowns and crashes), runs
+the reliable rack incast under it monolithically *and* sharded, and
+asserts the delivery invariants of DESIGN.md section 12:
+
+1. no committed frame lost (everything cumulatively ACKed reached the
+   receiving host),
+2. no duplicate delivered to the host,
+3. per-flow accounting closes (``sent == acked + failed``, failures
+   surfaced as ``DeliveryFailed`` records),
+4. mono == sharded bit-identical reports and wire stats,
+5. replay-from-seed determinism.
+
+Writes ``BENCH_chaos.json`` in the stable ``repro-bench/2`` envelope.
+Series metrics per seed (workload key ``chaos_seed{n}``):
+``invariants_ok`` (0/1), ``goodput``, ``retransmits``,
+``delivery_failures``.  Exits non-zero when any invariant is violated,
+which is the whole point of the CI job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos/run_chaos.py \
+        --out BENCH_chaos.json [--seeds 0,1,2,3,4] [--nics 4] \
+        [--frames 30] [--workers 2] [--pattern fanin]
+
+The same engine backs ``python -m repro chaos`` for interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "perf")
+)
+from bench_schema import envelope, write_json  # noqa: E402
+
+from repro.reliability.chaos import run_chaos  # noqa: E402
+
+
+def parse_seeds(text: str):
+    """``"0,1,2"`` or ``"0..9"`` -> list of ints."""
+    if ".." in text:
+        first, last = text.split("..", 1)
+        return list(range(int(first), int(last) + 1))
+    return [int(part) for part in text.split(",") if part]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_chaos.json",
+                        help="result JSON path")
+    parser.add_argument("--seeds", default="0,1,2,3,4",
+                        help="comma list or first..last range of seeds")
+    parser.add_argument("--nics", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=30,
+                        help="frames per directed flow")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard worker processes for the sharded leg")
+    parser.add_argument("--pattern", choices=("fanin", "symmetric"),
+                        default="fanin")
+    parser.add_argument("--no-replay", action="store_true",
+                        help="skip the third (replay determinism) run")
+    args = parser.parse_args(argv)
+
+    seeds = parse_seeds(args.seeds)
+
+    def progress(case):
+        verdict = "pass" if case["passed"] else "FAIL"
+        print(f"seed {case['seed']:>3}: {verdict}  "
+              f"goodput={case['goodput']:.3f}  faults={case['events']}  "
+              f"retx={case['retransmits']}  "
+              f"aborts={case['delivery_failures']}")
+        for violation in case["violations"]:
+            print(f"  ! {violation}")
+
+    report = run_chaos(
+        seeds, nics=args.nics, pattern=args.pattern, frames=args.frames,
+        workers=args.workers, check_replay=not args.no_replay,
+        progress=progress,
+    )
+
+    series = []
+    workloads = {}
+    for case in report["cases"]:
+        key = f"chaos_seed{case['seed']}"
+        workloads[key] = case
+        for metric, value in (
+            ("invariants_ok", int(case["passed"])),
+            ("goodput", case["goodput"]),
+            ("retransmits", case["retransmits"]),
+            ("delivery_failures", case["delivery_failures"]),
+        ):
+            series.append(
+                {"workload": key, "metric": metric, "value": value})
+    series.append({"workload": "chaos_batch", "metric": "goodput_min",
+                   "value": report["goodput_min"]})
+    series.append({"workload": "chaos_batch", "metric": "all_pass",
+                   "value": int(report["passed"])})
+
+    write_json(args.out, envelope(
+        "chaos", dict(report["params"], replay=not args.no_replay),
+        workloads, series,
+    ))
+
+    print(f"goodput min/mean: {report['goodput_min']:.3f} / "
+          f"{report['goodput_mean']:.3f}")
+    if not report["passed"]:
+        print(f"INVARIANT VIOLATIONS on seeds {report['failed_seeds']}",
+              file=sys.stderr)
+        return 1
+    print(f"all invariants hold on {len(seeds)} seeds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

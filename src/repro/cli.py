@@ -9,7 +9,8 @@ Usage::
     python -m repro faults      # crash-and-failover fault-tolerance demo
     python -m repro rack        # sharded rack-scale run vs monolithic
     python -m repro trace       # per-packet telemetry -> trace.json + timeline
-    python -m repro all         # everything above (except rack/trace)
+    python -m repro chaos       # seeded chaos: lossy rack + invariant gate
+    python -m repro all         # everything above (except rack/trace/chaos)
 
 The heavier experiments (HOL blocking, isolation, ablations) live in
 ``benchmarks/`` where pytest-benchmark records their runtimes.
@@ -237,6 +238,47 @@ def cmd_trace(frames: int = 32, sample_every: int = 1,
     print(format_timeline(tel.tracer.sorted_spans(), limit=timeline))
 
 
+def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
+              workers: int = 2, frames: int = 30, pattern: str = "fanin",
+              out: str = "") -> None:
+    """Break the rack on purpose: run seeded chaos cases on the reliable
+    incast and gate on the delivery invariants (DESIGN.md section 12).
+
+    Exits non-zero if any invariant is violated -- the same gate the CI
+    ``chaos-smoke`` job runs via ``benchmarks/chaos/run_chaos.py``.
+    """
+    import json
+
+    from repro.reliability.chaos import run_chaos
+
+    def progress(case: dict) -> None:
+        verdict = "pass" if case["passed"] else "FAIL"
+        print(f"  seed {case['seed']:>3}: {verdict}  "
+              f"goodput={case['goodput']:.3f}  "
+              f"faults={case['events']}  retx={case['retransmits']}  "
+              f"aborts={case['delivery_failures']}")
+
+    seed_list = list(range(first_seed, first_seed + seeds))
+    print(f"chaos: {len(seed_list)} seeds on a {nics}-NIC {pattern} rack, "
+          f"{frames} frames/flow, mono + {workers}-worker sharded")
+    report = run_chaos(seed_list, nics=nics, pattern=pattern, frames=frames,
+                       workers=workers, progress=progress)
+    print(f"goodput min/mean      : {report['goodput_min']:.3f} / "
+          f"{report['goodput_mean']:.3f}")
+    print("invariants            :",
+          "all hold" if report["passed"]
+          else f"VIOLATED on seeds {report['failed_seeds']}")
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote report to {out}")
+    if not report["passed"]:
+        for case in report["cases"]:
+            for violation in case["violations"]:
+                print(f"  seed {case['seed']}: {violation}")
+        raise SystemExit("chaos invariants violated")
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -245,6 +287,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "rack": cmd_rack,
     "trace": cmd_trace,
+    "chaos": cmd_chaos,
 }
 
 
@@ -270,7 +313,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     rack.add_argument("--prop-ns", type=int, default=500,
                       help="wire propagation delay, ns (the lookahead)")
     rack.add_argument("--pattern", choices=("symmetric", "fanin"),
-                      default="symmetric", help="traffic pattern")
+                      default=None,
+                      help="traffic pattern (default: symmetric for rack, "
+                           "fanin for chaos)")
     trace = parser.add_argument_group("trace options (--frames applies too)")
     trace.add_argument("--sample-every", type=int, default=1,
                        help="trace 1 in N injected frames (0: predicate only)")
@@ -278,6 +323,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="Chrome trace-event JSON output path")
     trace.add_argument("--timeline", type=int, default=3,
                        help="packet timelines to print")
+    chaos = parser.add_argument_group(
+        "chaos options (--nics/--workers/--frames/--pattern apply too)")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of chaos seeds to run")
+    chaos.add_argument("--first-seed", type=int, default=0,
+                       help="first seed of the range")
+    chaos.add_argument("--chaos-out", default="",
+                       help="write the chaos report JSON here")
     args = parser.parse_args(argv)
     if args.command == "all":
         # rack spawns worker processes and trace writes a file; keep
@@ -288,10 +341,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "rack":
         cmd_rack(nics=args.nics, workers=args.workers, frames=args.frames,
                  gap_ns=args.gap_ns, prop_ns=args.prop_ns,
-                 pattern=args.pattern)
+                 pattern=args.pattern or "symmetric")
     elif args.command == "trace":
         cmd_trace(frames=args.frames, sample_every=args.sample_every,
                   timeline=args.timeline, out=args.trace_out)
+    elif args.command == "chaos":
+        cmd_chaos(seeds=args.seeds, first_seed=args.first_seed,
+                  nics=args.nics, workers=args.workers or 2,
+                  frames=args.frames, pattern=args.pattern or "fanin",
+                  out=args.chaos_out)
     else:
         COMMANDS[args.command]()
     return 0

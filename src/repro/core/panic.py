@@ -114,6 +114,9 @@ class PanicNic:
             from repro.telemetry import Telemetry
 
             self.telemetry = Telemetry(self)
+        #: Host-side reliable transport, when the workload attaches one
+        #: (see :mod:`repro.reliability`); surfaces in ``stats()``.
+        self.transport = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -393,4 +396,6 @@ class PanicNic:
         if self.monitor is not None:
             faults.update(self.monitor.stats())
         out["faults"] = faults
+        if self.transport is not None:
+            out["reliability"] = self.transport.stats()
         return out

@@ -18,6 +18,12 @@ See ``examples/fault_tolerance.py`` for the end-to-end flow.
 from repro.faults.injector import FaultInjector
 from repro.faults.monitor import HealthMonitor, attach_health_monitor
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.rack import (
+    RackTargetError,
+    arm_rack_faults,
+    resolve_rack_plan,
+    wire_target,
+)
 
 __all__ = [
     "FaultEvent",
@@ -25,4 +31,8 @@ __all__ = [
     "FaultInjector",
     "HealthMonitor",
     "attach_health_monitor",
+    "RackTargetError",
+    "arm_rack_faults",
+    "resolve_rack_plan",
+    "wire_target",
 ]

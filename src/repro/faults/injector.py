@@ -23,9 +23,15 @@ from repro.faults.plan import (
     RECOVER,
     SLOW,
     STALL,
+    WIRE_KINDS,
 )
 from repro.sim.rng import SeededRng
 from repro.sim.stats import Counter
+
+#: Kinds whose target is an engine key resolved through ``nic.offload``.
+_ENGINE_KINDS = (CRASH, STALL, SLOW, RECOVER, PIFO_CORRUPT)
+#: Kinds whose target is a NoC channel resolved through ``nic.mesh``.
+_CHANNEL_KINDS = (LINK_CORRUPT, LINK_DROP)
 
 
 class FaultInjector:
@@ -38,8 +44,9 @@ class FaultInjector:
     plan:
         The fault schedule.  Engine targets are resolved through
         ``nic.offload``; channel targets through ``nic.mesh.channel`` --
-        both raise at injection time if a target does not exist, so a
-        typo'd plan fails loudly rather than silently doing nothing.
+        both are validated when :meth:`arm` is called, so a typo'd plan
+        fails loudly at arm time rather than silently never firing (or
+        exploding mid-run at the event's timestamp).
     """
 
     def __init__(self, nic, plan: FaultPlan):
@@ -51,15 +58,41 @@ class FaultInjector:
         self.applied: List[Tuple[int, str, str]] = []
         self._armed = False
 
+    def validate(self, event: FaultEvent) -> None:
+        """Resolve the event's target now; raise if it does not exist.
+
+        Wire kinds are rejected outright: an external cable is not part
+        of any single NIC, so those events need the rack-level arming in
+        :mod:`repro.faults.rack` (via ``run_monolithic``/``run_sharded``).
+        """
+        if event.kind in WIRE_KINDS:
+            raise ValueError(
+                f"{event.kind!r} targets an external wire; arm the plan "
+                f"through repro.faults.rack (run_monolithic/run_sharded "
+                f"fault_plan=...), not a single-NIC FaultInjector"
+            )
+        if event.kind in _ENGINE_KINDS:
+            self.nic.offload(event.target)
+        elif event.kind in _CHANNEL_KINDS:
+            self.nic.mesh.channel(event.target)
+
+    def schedule_event(self, event: FaultEvent, rng: SeededRng) -> None:
+        """Validate and schedule one event with an explicit RNG fork.
+
+        The rack armer calls this directly so that fork salts stay keyed
+        by the *plan-global* event index whatever subset of events lands
+        on this NIC's shard.
+        """
+        self.validate(event)
+        self.nic.sim.schedule_at(event.at_ps, self._apply, event, rng)
+
     def arm(self) -> None:
         """Schedule every plan event.  Call once, before running."""
         if self._armed:
             raise RuntimeError("fault plan already armed")
         self._armed = True
         for index, event in enumerate(self.plan.events()):
-            self.nic.sim.schedule_at(
-                event.at_ps, self._apply, event, self.rng.fork(f"fault{index}")
-            )
+            self.schedule_event(event, self.rng.fork(f"fault{index}"))
 
     # ------------------------------------------------------------------
 

@@ -22,8 +22,17 @@ RECOVER = "recover"
 LINK_CORRUPT = "link_corrupt"
 LINK_DROP = "link_drop"
 PIFO_CORRUPT = "pifo_corrupt"
+WIRE_DOWN = "wire_down"
+WIRE_UP = "wire_up"
+WIRE_LOSS = "wire_loss"
 
-KINDS = (CRASH, STALL, SLOW, RECOVER, LINK_CORRUPT, LINK_DROP, PIFO_CORRUPT)
+KINDS = (CRASH, STALL, SLOW, RECOVER, LINK_CORRUPT, LINK_DROP, PIFO_CORRUPT,
+         WIRE_DOWN, WIRE_UP, WIRE_LOSS)
+
+#: Kinds targeting an *external* wire between two NICs (rack scope).
+#: These cannot be armed by a single-NIC :class:`FaultInjector`; use
+#: :mod:`repro.faults.rack` through ``run_monolithic``/``run_sharded``.
+WIRE_KINDS = (WIRE_DOWN, WIRE_UP, WIRE_LOSS)
 
 
 @dataclass(frozen=True)
@@ -120,6 +129,47 @@ class FaultPlan:
     def corrupt_pifo(self, at_ps: int, engine: str) -> "FaultPlan":
         """Scramble the ranks of everything queued in a tile's PIFO."""
         return self._add(at_ps, PIFO_CORRUPT, engine)
+
+    # -- external wire faults (rack scope) -------------------------------
+    #
+    # Targets name a cable between two rack NICs: ``wire_<i>_<j>`` where
+    # ``i < j`` index the NICs in topology declaration order (see
+    # :func:`repro.faults.rack.wire_target`).  Engine/link kinds in a
+    # rack plan take ``"<nic>:<target>"`` instead (e.g. ``"nic0:ipsec"``).
+
+    def wire_down(self, at_ps: int, wire: str) -> "FaultPlan":
+        """Cut a cable: every frame offered to it vanishes until
+        :meth:`wire_up`.  Frames already in flight still arrive (the
+        photons left before the backhoe)."""
+        return self._add(at_ps, WIRE_DOWN, wire)
+
+    def wire_up(self, at_ps: int, wire: str) -> "FaultPlan":
+        """Restore a cable cut by :meth:`wire_down`."""
+        return self._add(at_ps, WIRE_UP, wire)
+
+    def flap_wire(self, down_ps: int, up_ps: int, wire: str) -> "FaultPlan":
+        """Convenience: a down interval ``[down_ps, up_ps)``."""
+        if up_ps <= down_ps:
+            raise ValueError(
+                f"flap must come back up after it goes down "
+                f"({down_ps} .. {up_ps})"
+            )
+        return self.wire_down(down_ps, wire).wire_up(up_ps, wire)
+
+    def wire_loss(
+        self, at_ps: int, wire: str,
+        drop_p: float = 0.01, corrupt_p: float = 0.0,
+    ) -> "FaultPlan":
+        """Make a cable lossy from ``at_ps`` on: each transmitted frame
+        is independently dropped with ``drop_p`` or bit-corrupted with
+        ``corrupt_p``, drawn from a per-wire-direction fork of the
+        plan's seed (so runs replay identically at any shard count).
+        Probabilities of 0 restore a clean wire."""
+        for label, p in (("drop_p", drop_p), ("corrupt_p", corrupt_p)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {p}")
+        return self._add(at_ps, WIRE_LOSS, wire,
+                         drop_p=drop_p, corrupt_p=corrupt_p)
 
     # -- introspection ---------------------------------------------------
 

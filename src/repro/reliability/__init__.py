@@ -1,0 +1,37 @@
+"""End-to-end reliable delivery over lossy rack wires.
+
+The paper puts PANIC under transports that survive loss (RDMA reliable
+connections, DCQCN's loss-driven pacing); this package supplies the
+minimal host-side version of that story so rack experiments keep their
+delivery guarantees when :mod:`repro.faults.rack` makes the cables lie:
+
+* :class:`ReliableTransport` -- a go-back-N sender/receiver pair living
+  in host software above one NIC (per-flow sequence numbers, cumulative
+  ACKs, RTO with exponential backoff and seeded jitter, bounded retries
+  surfacing :class:`DeliveryFailed`, receiver-side duplicate
+  suppression);
+* :mod:`repro.reliability.rack` -- the rack workload wired through it
+  (``reliable_rack_topology``), the subject of the chaos harness;
+* :mod:`repro.reliability.chaos` -- seeded random fault plans plus the
+  invariant checks (``no committed loss``, ``no duplicates``,
+  ``mono == sharded``, ``replay determinism``) behind
+  ``benchmarks/chaos/run_chaos.py`` and ``python -m repro chaos``.
+"""
+
+from repro.reliability.transport import (
+    ACK,
+    DATA,
+    DeliveryFailed,
+    ReliableTransport,
+    default_rto_ps,
+    parse_segment,
+)
+
+__all__ = [
+    "ACK",
+    "DATA",
+    "DeliveryFailed",
+    "ReliableTransport",
+    "default_rto_ps",
+    "parse_segment",
+]

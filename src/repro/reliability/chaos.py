@@ -1,0 +1,258 @@
+"""Seeded chaos testing for the reliable rack.
+
+One chaos **case** is fully determined by an integer seed: the seed
+generates a random :class:`~repro.faults.plan.FaultPlan` (lossy wires,
+corruption, flaps, engine slowdowns and crashes), the reliable rack
+incast runs under it monolithically and sharded, and the results are
+held to the invariants reliable delivery promises *whatever the faults
+did*:
+
+1. **No committed frame lost** -- every sequence number a sender counts
+   as cumulatively acknowledged was in fact delivered to the receiving
+   host.
+2. **No duplicate to the host** -- each receiver saw every ``(src,
+   seq)`` at most once.
+3. **Accounting closes** -- per flow, ``sent == acked + failed``, and
+   unfinished business only exists on flows that surfaced a
+   ``DeliveryFailed``.
+4. **mono == sharded** -- per-NIC reports and per-direction wire stats
+   are bit-identical between execution modes.
+5. **Replay determinism** -- regenerating the plan from the seed and
+   rerunning reproduces the run bit-for-bit.
+
+Goodput retained (delivered frames over offered frames) is reported per
+case; it is a *measurement*, not an invariant -- a chaos plan that cuts
+a wire forever legitimately sinks goodput, while the invariants above
+must survive anything.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.faults.rack import wire_target
+from repro.reliability.rack import reliable_rack_topology
+from repro.sim.clock import US
+from repro.sim.rng import SeededRng
+
+#: Engines a chaos plan may wound: present on every rack NIC and on the
+#: data path, so faults bite without invalidating the plan.
+CHAOS_ENGINES = ("checksum", "rmt")
+
+#: Fault-mix probabilities and ranges (drawn per case from its seed).
+LOSS_WIRE_P = 0.6          # chance each wire gets a Bernoulli loss model
+DROP_RANGE = (0.005, 0.03)
+CORRUPT_P = 0.3            # chance a lossy wire also corrupts
+CORRUPT_RANGE = (0.002, 0.01)
+FLAP_P = 0.4               # chance of one link-down interval
+SLOW_P = 0.4               # chance one engine is slowed (then recovered)
+CRASH_P = 0.15             # chance one engine is crashed outright
+
+
+def generate_chaos_plan(seed: int, nics: int,
+                        horizon_ps: int = 100 * US) -> FaultPlan:
+    """A random-but-reproducible fault mix for an ``nics``-NIC rack.
+
+    Every stochastic choice comes from forks of ``seed``, so equal seeds
+    build equal plans (the replay-determinism invariant leans on this).
+    ``horizon_ps`` bounds fault timing -- roughly the active traffic
+    window of the incast.
+    """
+    plan = FaultPlan(seed=seed)
+    rng = SeededRng(seed).fork("chaosplan")
+    wires = [(i, j) for i in range(nics) for j in range(i + 1, nics)]
+    for i, j in wires:
+        if rng.random() < LOSS_WIRE_P:
+            drop_p = rng.uniform(*DROP_RANGE)
+            corrupt_p = (rng.uniform(*CORRUPT_RANGE)
+                         if rng.random() < CORRUPT_P else 0.0)
+            plan.wire_loss(rng.randint(0, horizon_ps // 4),
+                           wire_target(i, j),
+                           drop_p=drop_p, corrupt_p=corrupt_p)
+    if rng.random() < FLAP_P:
+        i, j = rng.choice(wires)
+        down = rng.randint(horizon_ps // 10, horizon_ps // 2)
+        plan.flap_wire(down, down + rng.randint(10 * US, horizon_ps // 2),
+                       wire_target(i, j))
+    if rng.random() < SLOW_P:
+        nic = rng.randint(0, nics - 1)
+        engine = rng.choice(CHAOS_ENGINES)
+        at = rng.randint(0, horizon_ps // 2)
+        plan.slow_engine(at, f"nic{nic}:{engine}",
+                         factor=rng.uniform(2.0, 6.0))
+        plan.recover_engine(at + rng.randint(10 * US, horizon_ps // 2),
+                            f"nic{nic}:{engine}")
+    if rng.random() < CRASH_P:
+        # Crash the checksum lane of one *sender* (never the shared
+        # incast receiver nic0): its flows abort with DeliveryFailed
+        # while the rest of the rack keeps its goodput.
+        nic = rng.randint(1, nics - 1)
+        plan.crash_engine(rng.randint(0, horizon_ps),
+                          f"nic{nic}:checksum")
+    return plan
+
+
+def _check_case(mono, shard, replay) -> List[str]:
+    """All invariant violations of one chaos case (empty = pass)."""
+    violations: List[str] = []
+
+    if shard is not None:
+        if mono.reports != shard.reports:
+            diverged = sorted(
+                n for n in mono.reports
+                if mono.reports[n] != shard.reports.get(n)
+            )
+            violations.append(f"mono != sharded reports (nics {diverged})")
+        if mono.wire_stats != shard.wire_stats:
+            violations.append("mono != sharded wire stats")
+    if replay is not None and (mono.reports != replay.reports
+                               or mono.wire_stats != replay.wire_stats):
+        violations.append("replay from seed diverged")
+
+    # Receiver-side view: delivered (src, seq) pairs per NIC index.
+    delivered: Dict[int, set] = {}
+    for name, report in mono.reports.items():
+        rx = int(name[3:])
+        pairs = [(src, seq) for src, seq, _t, _q in report["deliveries"]]
+        if len(pairs) != len(set(pairs)):
+            violations.append(f"duplicate delivery to host on {name}")
+        delivered[rx] = set(pairs)
+
+    # Sender-side view vs receiver truth.
+    for name, report in mono.reports.items():
+        src = int(name[3:])
+        aborted_flows = {f[0] for f in report.get("failures", ())}
+        for dst, flow in report.get("tx_flows", {}).items():
+            missing = [seq for seq in range(flow["acked"])
+                       if (src, seq) not in delivered.get(dst, set())]
+            if missing:
+                violations.append(
+                    f"committed loss {name}->nic{dst}: acked seqs "
+                    f"{missing[:5]} never reached the host"
+                )
+            if flow["sent"] != flow["acked"] + flow["failed"]:
+                violations.append(
+                    f"accounting leak {name}->nic{dst}: "
+                    f"sent={flow['sent']} acked={flow['acked']} "
+                    f"failed={flow['failed']}"
+                )
+            if flow["failed"] and not flow["aborted"]:
+                violations.append(
+                    f"unacked data without DeliveryFailed {name}->nic{dst}"
+                )
+            if flow["aborted"] and dst not in aborted_flows:
+                violations.append(
+                    f"aborted flow {name}->nic{dst} missing its "
+                    f"DeliveryFailed record"
+                )
+    return violations
+
+
+def run_chaos_case(
+    seed: int,
+    *,
+    nics: int = 4,
+    pattern: str = "fanin",
+    frames: int = 30,
+    workers: int = 2,
+    check_replay: bool = True,
+) -> dict:
+    """Run one seeded chaos case end to end; returns a picklable report.
+
+    ``invariants`` maps each invariant to a bool; ``violations`` lists
+    the specifics when something broke.  ``goodput`` is delivered over
+    offered across the rack.
+    """
+    from repro.sim.shard import run_monolithic, run_sharded
+
+    def topology():
+        return reliable_rack_topology(
+            nics=nics, pattern=pattern, frames=frames, seed=seed,
+        )
+
+    plan = generate_chaos_plan(seed, nics)
+    mono = run_monolithic(topology(), fault_plan=plan)
+    shard = run_sharded(topology(), workers=workers,
+                        fault_plan=generate_chaos_plan(seed, nics))
+    replay = (run_monolithic(topology(),
+                             fault_plan=generate_chaos_plan(seed, nics))
+              if check_replay else None)
+
+    violations = _check_case(mono, shard, replay)
+
+    sent = sum(r["sent"] for r in mono.reports.values())
+    delivered = sum(len(r["deliveries"]) for r in mono.reports.values())
+    retransmits = sum(
+        r["stats"]["reliability"]["retransmits"]
+        for r in mono.reports.values()
+    )
+    failures = sum(len(r.get("failures", ())) for r in mono.reports.values())
+    wire_faults = {
+        label: stats for label, stats in sorted(mono.wire_stats.items())
+        if stats["loss_drops"] or stats["corruptions"] or stats["down_drops"]
+    }
+    return {
+        "seed": seed,
+        "plan": plan.describe(),
+        "events": len(plan),
+        "invariants": {
+            "no_committed_loss": not any(
+                "committed loss" in v for v in violations),
+            "no_duplicates": not any(
+                "duplicate delivery" in v for v in violations),
+            "accounting": not any(
+                ("accounting" in v or "DeliveryFailed" in v)
+                for v in violations),
+            "mono_eq_sharded": not any(
+                "mono != sharded" in v for v in violations),
+            "replay_deterministic": not any(
+                "replay" in v for v in violations),
+        },
+        "violations": violations,
+        "passed": not violations,
+        "sent": sent,
+        "delivered": delivered,
+        "goodput": delivered / sent if sent else 1.0,
+        "retransmits": retransmits,
+        "rto_fired": sum(
+            r["stats"]["reliability"]["rto_fired"]
+            for r in mono.reports.values()
+        ),
+        "delivery_failures": failures,
+        "wire_faults": wire_faults,
+    }
+
+
+def run_chaos(
+    seeds,
+    *,
+    nics: int = 4,
+    pattern: str = "fanin",
+    frames: int = 30,
+    workers: int = 2,
+    check_replay: bool = True,
+    progress: Optional[callable] = None,
+) -> dict:
+    """Run a batch of chaos cases; the harness/CLI entry point."""
+    cases = []
+    for seed in seeds:
+        case = run_chaos_case(
+            seed, nics=nics, pattern=pattern, frames=frames,
+            workers=workers, check_replay=check_replay,
+        )
+        cases.append(case)
+        if progress is not None:
+            progress(case)
+    goodputs = [case["goodput"] for case in cases]
+    return {
+        "params": {
+            "nics": nics, "pattern": pattern, "frames": frames,
+            "workers": workers, "seeds": list(seeds),
+        },
+        "cases": cases,
+        "passed": all(case["passed"] for case in cases),
+        "failed_seeds": [c["seed"] for c in cases if not c["passed"]],
+        "goodput_min": min(goodputs) if goodputs else 1.0,
+        "goodput_mean": (sum(goodputs) / len(goodputs)) if goodputs else 1.0,
+    }

@@ -1,0 +1,192 @@
+"""The rack workload rebuilt on reliable delivery.
+
+Same cabling, DSCP flow encoding, and traffic patterns as
+:mod:`repro.workloads.rack`, but every flow runs through a
+:class:`~repro.reliability.transport.ReliableTransport`, and every NIC
+verifies checksums so a wire-corrupted frame dies at RMT classification
+(making corruption indistinguishable from loss, which the transport
+already heals).  This is the workload the chaos harness breaks.
+
+``build_reliable_rack_nic`` is module-level and picklable by reference,
+as the shard workers require.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.core.config import PanicConfig
+from repro.core.panic import PanicNic
+from repro.core.topology import LinkSpec, NicSpec, RackTopology
+from repro.packet.builder import build_udp_frame
+from repro.reliability.transport import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_WINDOW,
+    HEADER_BYTES,
+    ReliableTransport,
+    default_rto_ps,
+)
+from repro.sim.clock import US
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRng
+from repro.workloads.rack import MAX_RACK_NICS, flow_dscp, rack_port
+from repro.workloads.wire import DEFAULT_PROPAGATION_PS
+
+
+def build_reliable_rack_nic(
+    sim: Simulator,
+    name: str,
+    *,
+    index: int,
+    n_nics: int,
+    frames: int,
+    gap_ps: int = 2 * US,
+    payload_bytes: int = 256,
+    pattern: str = "symmetric",
+    seed: int = 0,
+    fast_path: bool = True,
+    telemetry=None,
+    propagation_ps: int = DEFAULT_PROPAGATION_PS,
+    window: int = DEFAULT_WINDOW,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> Tuple[PanicNic, Callable[[], dict]]:
+    """Build rack node ``index`` of ``n_nics`` with a reliable transport.
+
+    Returns ``(nic, report)``; ``report()`` extends the plain rack form
+    (``stats``/``deliveries``/``sent``) with ``tx_flows`` (per-flow
+    ``sent``/``acked``/``failed`` accounting) and ``failures``
+    (:class:`~repro.reliability.transport.DeliveryFailed` tuples).
+    """
+    if pattern not in ("symmetric", "fanin"):
+        raise ValueError(f"unknown rack pattern {pattern!r}")
+    config = PanicConfig(
+        ports=n_nics - 1,
+        offloads=("checksum",),
+        seed=seed + index,
+        fast_path=fast_path,
+        telemetry=telemetry,
+        verify_checksums=True,
+    )
+    nic = PanicNic(sim, config, name=name)
+
+    peers = [peer for peer in range(n_nics) if peer != index]
+    for peer in peers:
+        # Routes and slack for ALL peers regardless of pattern: ACKs
+        # flow against the data direction, so even a pure fanin receiver
+        # transmits to every sender.
+        nic.control.route_dscp_tx(
+            flow_dscp(index, peer, n_nics),
+            chain=["checksum"],
+            egress_port=rack_port(index, peer),
+        )
+        nic.control.set_dscp_slack(
+            flow_dscp(peer, index, n_nics), (1 + peer) * 200 * US
+        )
+
+    def frame_builder(dst: int, segment: bytes) -> bytes:
+        return build_udp_frame(
+            src_mac="02:00:00:00:00:%02x" % (index + 1),
+            dst_mac="02:00:00:00:00:%02x" % (dst + 1),
+            src_ip=f"10.0.{index}.1",
+            dst_ip=f"10.0.{dst}.1",
+            src_port=40000 + index,
+            dst_port=9000,
+            payload=segment,
+            dscp=flow_dscp(index, dst, n_nics),
+        )
+
+    deliveries = []
+
+    def on_deliver(src: int, seq: int, payload: bytes, queue: int) -> None:
+        deliveries.append((src, seq, sim.now, queue))
+
+    transport = ReliableTransport(
+        nic, index,
+        frame_builder=frame_builder,
+        rng=SeededRng(seed + index).fork("reliability"),
+        rto_initial_ps=default_rto_ps(propagation_ps),
+        window=window,
+        max_retries=max_retries,
+        on_deliver=on_deliver,
+    )
+
+    if pattern == "symmetric":
+        targets = peers
+    else:  # fanin: everyone streams at NIC 0
+        targets = [0] if index != 0 else []
+
+    pad = bytes(max(0, payload_bytes - HEADER_BYTES))
+    sent = 0
+    for dst in targets:
+        for seq in range(frames):
+            sim.schedule_at(seq * gap_ps, transport.send, dst, pad)
+            sent += 1
+
+    total_sent = sent
+
+    def report() -> dict:
+        rep = {
+            "stats": nic.stats(),
+            "deliveries": sorted(deliveries),
+            "sent": total_sent,
+            "tx_flows": transport.flow_report(),
+            "failures": transport.failure_report(),
+        }
+        if nic.telemetry is not None:
+            rep["trace"] = nic.telemetry.trace_report()
+        return rep
+
+    return nic, report
+
+
+def reliable_rack_topology(
+    nics: int = 4,
+    pattern: str = "symmetric",
+    frames: int = 40,
+    gap_ps: int = 2 * US,
+    payload_bytes: int = 256,
+    propagation_ps: int = DEFAULT_PROPAGATION_PS,
+    seed: int = 0,
+    fast_path: bool = True,
+    telemetry=None,
+    window: int = DEFAULT_WINDOW,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+) -> RackTopology:
+    """An all-pairs-cabled rack whose flows run go-back-N end to end."""
+    if not 2 <= nics <= MAX_RACK_NICS:
+        raise ValueError(
+            f"rack supports 2..{MAX_RACK_NICS} NICs (DSCP flow encoding), "
+            f"got {nics}"
+        )
+    specs = [
+        NicSpec(
+            f"nic{i}",
+            build_reliable_rack_nic,
+            {
+                "index": i,
+                "n_nics": nics,
+                "frames": frames,
+                "gap_ps": gap_ps,
+                "payload_bytes": payload_bytes,
+                "pattern": pattern,
+                "seed": seed,
+                "fast_path": fast_path,
+                "telemetry": telemetry,
+                "propagation_ps": propagation_ps,
+                "window": window,
+                "max_retries": max_retries,
+            },
+        )
+        for i in range(nics)
+    ]
+    links = [
+        LinkSpec(
+            f"nic{i}", f"nic{j}",
+            port_a=rack_port(i, j),
+            port_b=rack_port(j, i),
+            propagation_ps=propagation_ps,
+        )
+        for i in range(nics)
+        for j in range(i + 1, nics)
+    ]
+    return RackTopology(specs, links)

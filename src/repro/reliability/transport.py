@@ -1,0 +1,377 @@
+"""Host-side go-back-N reliable transport.
+
+One :class:`ReliableTransport` per NIC plays both roles: sender for the
+flows this host originates, receiver (cumulative-ACK generator plus
+duplicate suppressor) for the flows arriving from peers.  It lives in
+host software -- segments enter the NIC through the normal
+``host.enqueue_tx`` doorbell path and come back out through the
+interrupt-driven ``software_handler`` -- so the NIC pipeline under test
+is exactly the one unreliable datagrams use.
+
+Wire format (inside the UDP payload)::
+
+    0       2     3      5      7              15
+    +-------+-----+------+------+---------------+----------------+
+    | magic | typ | src  | dst  |      seq      |  app payload   |
+    +-------+-----+------+------+---------------+----------------+
+
+``src``/``dst`` are rack NIC indices; for ``DATA`` ``seq`` is the
+segment's per-flow sequence number, for ``ACK`` it is the *cumulative*
+acknowledgement -- "I have received every sequence number below this".
+
+Loss recovery is classic go-back-N: one retransmission timer per flow;
+on expiry the whole outstanding window is resent and the RTO doubles
+(bounded by ``rto_max_ps``) with seeded jitter so replayed runs stay
+bit-identical.  ``max_retries`` consecutive expiries without progress
+abort the flow and surface a :class:`DeliveryFailed` record -- bounded
+retries guarantee the event heap drains even over a permanently cut
+wire.  Corruption needs no extra machinery: the NICs run with checksum
+verification on, so a corrupted segment dies at RMT classification and
+the transport sees it as loss.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
+
+from repro.sim.clock import US
+from repro.sim.stats import Counter
+
+#: Magic marking a reliability segment; anything else in the UDP payload
+#: is ignored (defensive against corrupted or foreign frames).
+MAGIC = 0x5EAB
+#: Segment types.
+DATA = 0
+ACK = 1
+
+_HEADER = struct.Struct("!HBHHQ")  # magic, type, src, dst, seq
+HEADER_BYTES = _HEADER.size
+
+#: Defaults; window sizes the outstanding go-back-N in-flight segments.
+DEFAULT_WINDOW = 16
+DEFAULT_MAX_RETRIES = 8
+DEFAULT_JITTER = 0.1
+
+
+def pack_segment(seg_type: int, src: int, dst: int, seq: int,
+                 payload: bytes = b"") -> bytes:
+    """Serialize one reliability segment (header + app payload)."""
+    return _HEADER.pack(MAGIC, seg_type, src, dst, seq) + payload
+
+
+def parse_segment(
+    payload: bytes,
+) -> Optional[Tuple[int, int, int, int, bytes]]:
+    """Parse a UDP payload; None unless it starts with a valid header.
+
+    Returns ``(type, src, dst, seq, rest)``.  Ethernet zero-padding after
+    ``rest`` is harmless -- callers treat app payload as opaque.
+    """
+    if len(payload) < HEADER_BYTES:
+        return None
+    magic, seg_type, src, dst, seq = _HEADER.unpack_from(payload)
+    if magic != MAGIC or seg_type not in (DATA, ACK):
+        return None
+    return seg_type, src, dst, seq, payload[HEADER_BYTES:]
+
+
+def default_rto_ps(propagation_ps: int) -> int:
+    """Initial RTO for a rack wire: a few propagation round trips plus
+    generous headroom for the NIC pipeline, incast queueing, and the
+    interrupt-driven host software delay (~2 us per side)."""
+    return 8 * propagation_ps + 30 * US
+
+
+class DeliveryFailed(NamedTuple):
+    """A flow gave up: ``max_retries`` RTO expiries without progress.
+
+    Covers every unacknowledged sequence number the sender will never
+    deliver: ``first_seq`` (the flow's cumulative-ACK front at abort
+    time) through the last payload offered before the report was read.
+    """
+
+    dst: int
+    first_seq: int
+    at_ps: int
+    retries: int
+
+
+class _TxFlow:
+    """Sender state for one destination."""
+
+    __slots__ = ("dst", "payloads", "base", "next_seq", "rto_ps",
+                 "retries", "timer_gen", "aborted")
+
+    def __init__(self, dst: int):
+        self.dst = dst
+        self.payloads: List[bytes] = []
+        self.base = 0        # lowest unacknowledged sequence number
+        self.next_seq = 0    # next never-sent sequence number
+        self.rto_ps = 0      # current (backed-off) RTO
+        self.retries = 0     # consecutive expiries without progress
+        self.timer_gen = 0   # invalidates stale timer events
+        self.aborted = False
+
+
+class ReliableTransport:
+    """Go-back-N sender + receiver for one NIC's host software.
+
+    Parameters
+    ----------
+    nic:
+        The :class:`~repro.core.panic.PanicNic` to speak through.  The
+        transport installs itself as ``nic.host.software_handler`` and
+        as ``nic.transport`` (surfacing ``stats()["reliability"]``).
+    index:
+        This host's rack NIC index (the ``src`` of every segment).
+    frame_builder:
+        ``frame_builder(dst, udp_payload) -> bytes`` -- builds the full
+        Ethernet frame addressed to peer ``dst``.  Supplied by the
+        workload, so any experiment that cables two NICs can reuse the
+        transport whatever its MAC/IP/DSCP scheme.
+    rng:
+        A dedicated seeded stream for RTO jitter (fork it from the
+        workload seed; never share a stream the simulation draws from).
+    on_deliver:
+        ``on_deliver(src, seq, app_payload, queue)`` called exactly once
+        per in-order segment -- duplicates are suppressed before it.
+    """
+
+    def __init__(
+        self,
+        nic,
+        index: int,
+        *,
+        frame_builder: Callable[[int, bytes], bytes],
+        rng,
+        rto_initial_ps: int,
+        rto_max_ps: Optional[int] = None,
+        window: int = DEFAULT_WINDOW,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        jitter: float = DEFAULT_JITTER,
+        on_deliver: Optional[Callable[[int, int, bytes, int], None]] = None,
+        tx_queue: int = 0,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if rto_initial_ps <= 0:
+            raise ValueError(f"rto_initial_ps must be > 0, got {rto_initial_ps}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.nic = nic
+        self.sim = nic.sim
+        self.index = index
+        self.frame_builder = frame_builder
+        self.rng = rng
+        self.window = window
+        self.rto_initial_ps = rto_initial_ps
+        self.rto_max_ps = rto_max_ps or 16 * rto_initial_ps
+        self.max_retries = max_retries
+        self.jitter = jitter
+        self.on_deliver = on_deliver
+        self.tx_queue = tx_queue
+
+        self._tx: Dict[int, _TxFlow] = {}
+        self._rx_expected: Dict[int, int] = {}  # src -> next in-order seq
+        self.failures: List[DeliveryFailed] = []
+
+        label = f"{nic.name}.rel"
+        self.data_sent = Counter(f"{label}.data_sent")
+        self.retransmits = Counter(f"{label}.retransmits")
+        self.rto_fired = Counter(f"{label}.rto_fired")
+        self.acks_sent = Counter(f"{label}.acks_sent")
+        self.acks_received = Counter(f"{label}.acks_received")
+        self.dup_acks = Counter(f"{label}.dup_acks")
+        self.delivered = Counter(f"{label}.delivered")
+        self.duplicates_suppressed = Counter(f"{label}.dups_suppressed")
+        self.out_of_order_dropped = Counter(f"{label}.ooo_dropped")
+        self.parse_rejects = Counter(f"{label}.parse_rejects")
+
+        # Telemetry: control events land on a dedicated flow context,
+        # allocated at construction so the trace id is mode-independent.
+        self._trace_ctx = None
+        self._tracer = None
+        if nic.telemetry is not None:
+            self._tracer = nic.telemetry.tracer
+            self._trace_ctx = self._tracer.flow_ctx()
+
+        nic.host.software_handler = self._on_host_rx
+        nic.transport = self
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, payload: bytes) -> None:
+        """Offer one application payload to flow ``dst``.
+
+        Transmitted immediately if the go-back-N window has room,
+        otherwise once earlier segments are acknowledged.
+        """
+        flow = self._tx.get(dst)
+        if flow is None:
+            flow = self._tx[dst] = _TxFlow(dst)
+            flow.rto_ps = self.rto_initial_ps
+        flow.payloads.append(bytes(payload))
+        self._pump(flow)
+
+    def _pump(self, flow: _TxFlow) -> None:
+        """Send everything the window allows; keep the timer honest."""
+        if flow.aborted:
+            return
+        limit = flow.base + self.window
+        while flow.next_seq < limit and flow.next_seq < len(flow.payloads):
+            self._transmit(flow, flow.next_seq)
+            flow.next_seq += 1
+            self.data_sent.add()
+        if flow.base < flow.next_seq:
+            self._arm_timer(flow)
+
+    def _transmit(self, flow: _TxFlow, seq: int) -> None:
+        segment = pack_segment(DATA, self.index, flow.dst, seq,
+                               flow.payloads[seq])
+        self.nic.host.enqueue_tx(
+            self.frame_builder(flow.dst, segment), self.tx_queue
+        )
+
+    def _arm_timer(self, flow: _TxFlow) -> None:
+        flow.timer_gen += 1
+        self.sim.schedule_at(
+            self.sim.now + flow.rto_ps, self._on_timer, flow, flow.timer_gen
+        )
+
+    def _on_timer(self, flow: _TxFlow, gen: int) -> None:
+        if gen != flow.timer_gen or flow.aborted or flow.base >= flow.next_seq:
+            return  # stale timer, or nothing outstanding anymore
+        self.rto_fired.add()
+        flow.retries += 1
+        self._trace("rel_rto", (("dst", flow.dst), ("rto_ps", flow.rto_ps),
+                                ("retries", flow.retries)))
+        if flow.retries > self.max_retries:
+            self._abort(flow)
+            return
+        # Exponential backoff with seeded jitter: doubling alone would
+        # fire every sender's timer at the same instant forever.
+        backoff = min(flow.rto_ps * 2, self.rto_max_ps)
+        flow.rto_ps = max(1, int(backoff * (
+            1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        )))
+        # Go-back-N: resend the entire outstanding window.
+        for seq in range(flow.base, flow.next_seq):
+            self._transmit(flow, seq)
+            self.retransmits.add()
+        self._trace("rel_retransmit", (("dst", flow.dst),
+                                       ("seq_from", flow.base),
+                                       ("seq_to", flow.next_seq - 1)))
+        self._arm_timer(flow)
+
+    def _abort(self, flow: _TxFlow) -> None:
+        flow.aborted = True
+        flow.timer_gen += 1
+        self.failures.append(DeliveryFailed(
+            dst=flow.dst, first_seq=flow.base, at_ps=self.sim.now,
+            retries=flow.retries,
+        ))
+        self._trace("rel_abort", (("dst", flow.dst),
+                                  ("first_seq", flow.base)))
+
+    def _on_ack(self, src: int, ack_no: int) -> None:
+        flow = self._tx.get(src)
+        if flow is None or flow.aborted:
+            return
+        if ack_no <= flow.base:
+            self.dup_acks.add()
+            return
+        self.acks_received.add()
+        flow.base = min(ack_no, flow.next_seq)
+        flow.retries = 0
+        flow.rto_ps = self.rto_initial_ps
+        if flow.base >= flow.next_seq and flow.next_seq >= len(flow.payloads):
+            flow.timer_gen += 1  # flow complete: disarm
+        self._pump(flow)
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+
+    def _on_host_rx(self, packet, queue: int) -> None:
+        parsed = parse_segment(packet.data[self._payload_offset(packet):])
+        if parsed is None:
+            self.parse_rejects.add()
+            return
+        seg_type, src, dst, seq, payload = parsed
+        if dst != self.index:
+            self.parse_rejects.add()
+            return
+        if seg_type == ACK:
+            self._on_ack(src, seq)
+            return
+        expected = self._rx_expected.get(src, 0)
+        if seq == expected:
+            self._rx_expected[src] = expected + 1
+            self.delivered.add()
+            if self.on_deliver is not None:
+                self.on_deliver(src, seq, payload, queue)
+        elif seq < expected:
+            self.duplicates_suppressed.add()
+        else:
+            # Go-back-N receiver: no reorder buffer; the sender will
+            # resend from `expected` on its next timeout.
+            self.out_of_order_dropped.add()
+        # Always (re-)advertise the cumulative front, so lost ACKs heal.
+        ack = pack_segment(ACK, self.index, src, self._rx_expected.get(src, 0))
+        self.nic.host.enqueue_tx(self.frame_builder(src, ack), self.tx_queue)
+        self.acks_sent.add()
+
+    @staticmethod
+    def _payload_offset(packet) -> int:
+        # Ethernet (14) + IPv4 (20) + UDP (8); constant for the rack
+        # frame shapes this library builds.
+        return 42
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _trace(self, kind: str, args: Tuple) -> None:
+        if self._tracer is not None:
+            self._tracer.instant(self._trace_ctx, kind,
+                                 f"{self.nic.name}.reliability",
+                                 self.sim.now, args)
+
+    def stats(self) -> Dict[str, int]:
+        """The ``stats()["reliability"]`` block of the owning NIC."""
+        return {
+            "data_sent": self.data_sent.value,
+            "retransmits": self.retransmits.value,
+            "rto_fired": self.rto_fired.value,
+            "acks_sent": self.acks_sent.value,
+            "acks_received": self.acks_received.value,
+            "dup_acks": self.dup_acks.value,
+            "delivered": self.delivered.value,
+            "duplicates_suppressed": self.duplicates_suppressed.value,
+            "out_of_order_dropped": self.out_of_order_dropped.value,
+            "parse_rejects": self.parse_rejects.value,
+            "delivery_failures": len(self.failures),
+        }
+
+    def flow_report(self) -> Dict[int, Dict[str, int]]:
+        """Per-destination accounting: ``sent == acked + failed`` holds
+        for every flow once the simulation drains (the chaos harness's
+        accounting invariant)."""
+        out: Dict[int, Dict[str, int]] = {}
+        for dst, flow in sorted(self._tx.items()):
+            sent = len(flow.payloads)
+            acked = min(flow.base, sent)
+            out[dst] = {
+                "sent": sent,
+                "acked": acked,
+                "failed": sent - acked,
+                "aborted": int(flow.aborted),
+            }
+        return out
+
+    def failure_report(self) -> List[tuple]:
+        """Picklable ``DeliveryFailed`` records."""
+        return [tuple(f) for f in self.failures]

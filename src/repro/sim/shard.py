@@ -59,8 +59,10 @@ class ShardError(SimError):
 class ShardDeadlockError(ShardError):
     """A shard exhausted its per-window event budget with work pending.
 
-    Carries the offending shard id and its kernel ``pending_summary`` so
-    the report survives the worker process.
+    Carries the offending shard id and a ``summary`` that survives the
+    worker process: the kernel's ``pending_summary`` (which callbacks
+    keep the heap alive) plus the shard's per-NIC engine state naming
+    the component that starved -- not just the worker index.
     """
 
     def __init__(self, shard: int, summary: str):
@@ -70,6 +72,30 @@ class ShardDeadlockError(ShardError):
         )
         self.shard = shard
         self.summary = summary
+
+
+def _shard_pending_detail(nics: Dict[str, Any]) -> str:
+    """Name the starved components of a wedged shard: every engine with
+    a backlog, busy lanes, or an active fault, per NIC.  Shipped inside
+    :class:`ShardDeadlockError` alongside the kernel pending summary."""
+    lines: List[str] = [f"shard NICs: {', '.join(sorted(nics)) or '(none)'}"]
+    for name in sorted(nics):
+        engines = getattr(nics[name], "engines", None) or {}
+        stuck = []
+        for key in sorted(engines):
+            engine = engines[key]
+            backlog = getattr(engine, "backlog", 0)
+            busy = getattr(engine, "_busy_lanes", 0)
+            fault = getattr(engine, "fault_mode", None)
+            if backlog or busy or fault:
+                note = f"{key}(backlog={backlog}, busy_lanes={busy}"
+                note += f", fault={fault})" if fault else ")"
+                stuck.append(note)
+        if stuck:
+            lines.append(f"  {name} starved engines: " + ", ".join(stuck))
+    if len(lines) == 1:
+        lines.append("  no engine holds work; suspect wires or host timers")
+    return "\n".join(lines)
 
 
 @dataclass
@@ -88,6 +114,10 @@ class ShardRunResult:
     #: NIC ran with telemetry.  Span ids are execution-mode independent,
     #: so this merge is comparable between monolithic and sharded runs.
     trace: Optional[Dict[str, list]] = None
+    #: Per-direction external-wire fault accounting, keyed by the
+    #: mode-independent direction label (``wire0.nic0->nic1``), merged
+    #: across shards.  Comparable between execution modes like reports.
+    wire_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
 
 def _mp_context():
@@ -104,9 +134,20 @@ def _mp_context():
 # ---------------------------------------------------------------------------
 
 
-def run_monolithic(topology: RackTopology) -> ShardRunResult:
+def run_monolithic(
+    topology: RackTopology,
+    fault_plan=None,
+) -> ShardRunResult:
     """Run the whole topology in this process: the reference semantics
-    every sharded run must reproduce bit-for-bit."""
+    every sharded run must reproduce bit-for-bit.
+
+    ``fault_plan`` is an optional rack-scoped
+    :class:`~repro.faults.plan.FaultPlan` (targets ``"<nic>:<target>"``
+    and ``"wire_<i>_<j>"``) armed through :mod:`repro.faults.rack`.
+    """
+    from repro.faults.rack import (
+        arm_rack_faults, wire_direction_label, wire_ends,
+    )
     from repro.workloads.wire import Wire
 
     t0 = time.perf_counter()
@@ -117,18 +158,30 @@ def run_monolithic(topology: RackTopology) -> ShardRunResult:
         nic, report = spec.builder(sim, spec.name, **spec.params)
         nics[spec.name] = nic
         reports[spec.name] = report
+    wires = []
+    ends: Dict[Tuple[int, str], Any] = {}
     for index, link in enumerate(topology.links):
-        Wire(
+        wire = Wire(
             sim, nics[link.nic_a], nics[link.nic_b],
             name=f"wire{index}.{link.nic_a}-{link.nic_b}",
             propagation_ps=link.propagation_ps,
             port_a=link.port_a, port_b=link.port_b,
+            fault_labels={
+                end: wire_direction_label(index, link, end)
+                for end in ("a", "b")
+            },
         )
+        wires.append(wire)
+        ends.update(wire_ends(wire, index))
+    arm_rack_faults(fault_plan, topology, sim, nics, ends)
     fired = sim.run()
     wall = time.perf_counter() - t0
     from repro.telemetry.export import merge_trace_reports
 
     gathered = {name: report() for name, report in reports.items()}
+    wire_stats: Dict[str, Dict[str, int]] = {}
+    for wire in wires:
+        wire_stats.update(wire.wire_stats())
     return ShardRunResult(
         mode="monolithic",
         workers=1,
@@ -137,6 +190,7 @@ def run_monolithic(topology: RackTopology) -> ShardRunResult:
         wall_seconds=wall,
         final_ps={name: sim.now for name in nics},
         trace=merge_trace_reports(gathered),
+        wire_stats=wire_stats,
     )
 
 
@@ -161,6 +215,7 @@ def _shard_worker_main(
     topology: RackTopology,
     assignment: Dict[str, int],
     window_budget: Optional[int],
+    fault_plan=None,
 ) -> None:
     """Entry point of one shard process.
 
@@ -171,10 +226,14 @@ def _shard_worker_main(
       of ``(boundary_key, [PacketCapsule, ...])``; runs the window and
       replies ``("done", next_ps, fired, outbox)`` with ``outbox`` keyed
       by *destination* boundary.
-    * <- ``("finish",)``; replies ``("reports", {nic: report}, now_ps)``.
+    * <- ``("finish",)``; replies
+      ``("reports", {nic: report}, now_ps, wire_stats)``.
     * Budget exhaustion replies ``("deadlock", summary)``; any other
       failure replies ``("error", traceback)``.
     """
+    from repro.faults.rack import (
+        arm_rack_faults, boundary_end, wire_direction_label, wire_ends,
+    )
     from repro.workloads.wire import ShardBoundary, Wire
 
     try:
@@ -189,36 +248,54 @@ def _shard_worker_main(
             reports[spec.name] = report
 
         boundaries: Dict[Tuple[int, str], ShardBoundary] = {}
+        wires = []
+        ends: Dict[Tuple[int, str], Any] = {}
         for index, link in enumerate(topology.links):
             shard_a = assignment[link.nic_a]
             shard_b = assignment[link.nic_b]
             if shard_a == shard and shard_b == shard:
-                Wire(
+                wire = Wire(
                     sim, nics[link.nic_a], nics[link.nic_b],
                     name=f"wire{index}.{link.nic_a}-{link.nic_b}",
                     propagation_ps=link.propagation_ps,
                     port_a=link.port_a, port_b=link.port_b,
+                    fault_labels={
+                        end: wire_direction_label(index, link, end)
+                        for end in ("a", "b")
+                    },
                 )
+                wires.append(wire)
+                ends.update(wire_ends(wire, index))
             elif shard_a == shard or shard_b == shard:
                 end = "a" if shard_a == shard else "b"
                 nic_name, port = _link_end(link, end)
                 peer_name, _ = _link_end(link, _OTHER_END[end])
-                boundaries[(index, end)] = ShardBoundary(
+                boundary = ShardBoundary(
                     sim, nics[nic_name], port,
                     peer_nic=peer_name,
                     propagation_ps=link.propagation_ps,
                     name=f"boundary{index}.{nic_name}.p{port}",
+                    fault_label=wire_direction_label(index, link, end),
                 )
+                boundaries[(index, end)] = boundary
+                ends.update(boundary_end(boundary, index, end))
+        arm_rack_faults(fault_plan, topology, sim, nics, ends)
 
         conn.send(("ready", sim.next_event_ps()))
 
         while True:
             message = conn.recv()
             if message[0] == "finish":
+                wire_stats: Dict[str, Dict[str, int]] = {}
+                for wire in wires:
+                    wire_stats.update(wire.wire_stats())
+                for boundary in boundaries.values():
+                    wire_stats.update(boundary.wire_stats())
                 conn.send((
                     "reports",
                     {name: report() for name, report in reports.items()},
                     sim.now,
+                    wire_stats,
                 ))
                 return
             if message[0] != "run":  # pragma: no cover - protocol misuse
@@ -233,7 +310,10 @@ def _shard_worker_main(
                     on_max_events="raise",
                 )
             except DeadlockError as exc:
-                conn.send(("deadlock", str(exc)))
+                conn.send((
+                    "deadlock",
+                    f"{exc}\n{_shard_pending_detail(nics)}",
+                ))
                 return
             outbox = [
                 ((index, _OTHER_END[end]), batch)
@@ -258,6 +338,7 @@ def run_sharded(
     topology: RackTopology,
     workers: int,
     window_event_budget: Optional[int] = DEFAULT_WINDOW_EVENT_BUDGET,
+    fault_plan=None,
 ) -> ShardRunResult:
     """Run ``topology`` partitioned across ``workers`` processes.
 
@@ -267,6 +348,11 @@ def run_sharded(
     exhausts ``window_event_budget`` with work pending, and
     :class:`~repro.core.topology.TopologyError` when a cross-shard wire
     is shorter than the minimum lookahead.
+
+    ``fault_plan`` is an optional rack-scoped fault schedule; every
+    worker arms its local subset with plan-global RNG salts (see
+    :mod:`repro.faults.rack`), so a faulty sharded run reproduces the
+    faulty monolithic run bit-for-bit.
     """
     assignment = topology.assign_shards(workers)
     lookahead = topology.lookahead_ps(assignment)
@@ -288,7 +374,7 @@ def run_sharded(
             proc = ctx.Process(
                 target=_shard_worker_main,
                 args=(child, shard, topology, assignment,
-                      window_event_budget),
+                      window_event_budget, fault_plan),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -353,11 +439,13 @@ def run_sharded(
 
         reports: Dict[str, dict] = {}
         final_ps: Dict[str, int] = {}
+        wire_stats: Dict[str, Dict[str, int]] = {}
         for shard in range(workers):
             pipes[shard].send(("finish",))
         for shard in range(workers):
-            _, shard_reports, now_ps = expect(shard, "reports")
+            _, shard_reports, now_ps, shard_wires = expect(shard, "reports")
             reports.update(shard_reports)
+            wire_stats.update(shard_wires)
             for name in shard_reports:
                 final_ps[name] = now_ps
         wall = time.perf_counter() - t0
@@ -375,6 +463,7 @@ def run_sharded(
             lookahead_ps=lookahead,
             final_ps=final_ps,
             trace=merge_trace_reports(reports),
+            wire_stats=wire_stats,
         )
     finally:
         for proc in procs:

@@ -132,6 +132,20 @@ class PacketTracer:
                      (("port", port),))
         return ctx
 
+    def flow_ctx(self) -> TraceCtx:
+        """Allocate a trace context not tied to any sampled packet.
+
+        Host-side protocol machinery (e.g. the reliable transport) uses
+        one to record control events -- retransmits, RTO firings, flow
+        aborts -- as instants on the NIC's timeline.  Must be called
+        during construction, never mid-run: construction order is
+        identical between execution modes, so the allocated ``trace_id``
+        stays mode-independent.
+        """
+        ctx = TraceCtx(self._next_trace_id)
+        self._next_trace_id += 1
+        return ctx
+
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------

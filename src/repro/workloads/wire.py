@@ -22,7 +22,7 @@ scheduled for delivery at exactly the timestamp the monolithic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.packet.packet import MessageKind, Packet
 from repro.sim.clock import NS
@@ -31,6 +31,98 @@ from repro.sim.stats import Counter
 
 #: Rack-local one-way propagation (a few meters of fibre + PHY).
 DEFAULT_PROPAGATION_PS = 500 * NS
+
+
+class LinkFaults:
+    """Fault state for one transmit direction of an external wire.
+
+    Holds the seeded Bernoulli loss model (armed by a ``WIRE_LOSS``
+    fault event) and the scheduled-outage flag (``WIRE_DOWN``/
+    ``WIRE_UP``).  Both :class:`Wire` directions and each
+    :class:`ShardBoundary` own one, and both call :meth:`process` at
+    *transmit* time -- the one instant that happens in identical
+    per-direction FIFO order in monolithic and sharded execution, so
+    the RNG draw sequence (and therefore every drop and bit flip) is
+    bit-identical at any worker count.
+    """
+
+    __slots__ = ("label", "down", "drop_p", "corrupt_p", "rng",
+                 "offered", "forwarded", "loss_drops", "corruptions",
+                 "down_drops")
+
+    def __init__(self, label: str):
+        #: Execution-mode-independent name used in stats and telemetry.
+        self.label = label
+        self.down = False
+        self.drop_p = 0.0
+        self.corrupt_p = 0.0
+        self.rng = None
+        self.offered = Counter(f"{label}.offered")
+        self.forwarded = Counter(f"{label}.forwarded")
+        self.loss_drops = Counter(f"{label}.loss_drops")
+        self.corruptions = Counter(f"{label}.corruptions")
+        self.down_drops = Counter(f"{label}.down_drops")
+
+    def set_loss(self, drop_p: float, corrupt_p: float, rng) -> None:
+        """Arm (or clear, with zero probabilities) the loss model.
+
+        ``rng`` must be a fork derived purely from the fault plan's seed
+        and this direction's stable name -- never a stream the
+        simulation itself draws from.
+        """
+        self.drop_p = drop_p
+        self.corrupt_p = corrupt_p
+        self.rng = rng if (drop_p or corrupt_p) else None
+
+    def process(self, data: bytes) -> Optional[bytes]:
+        """Pass ``data`` through the faulty segment.
+
+        Returns None when the frame is lost (outage or Bernoulli drop),
+        the corrupted bytes when a bit flips, or ``data`` unchanged.
+        """
+        self.offered.add()
+        if self.down:
+            self.down_drops.add()
+            return None
+        rng = self.rng
+        if rng is not None:
+            if rng.random() < self.drop_p:
+                self.loss_drops.add()
+                return None
+            if self.corrupt_p and rng.random() < self.corrupt_p:
+                bit = rng.randint(0, len(data) * 8 - 1)
+                corrupted = bytearray(data)
+                corrupted[bit >> 3] ^= 1 << (bit & 7)
+                self.corruptions.add()
+                self.forwarded.add()
+                return bytes(corrupted)
+        self.forwarded.add()
+        return data
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered.value,
+            "forwarded": self.forwarded.value,
+            "loss_drops": self.loss_drops.value,
+            "corruptions": self.corruptions.value,
+            "down_drops": self.down_drops.value,
+        }
+
+
+def _trace_wire_drop(nic, packet: Packet, label: str, now: int,
+                     reason: str) -> None:
+    """Record a traced packet vanishing on an external wire.
+
+    ``label`` is the :class:`LinkFaults` label, identical between
+    execution modes, so traced runs stay mono==sharded comparable.
+    """
+    telemetry = getattr(nic, "telemetry", None)
+    if telemetry is None:
+        return
+    ctx = packet.meta.annotations.get("__trace__")
+    if ctx is not None:
+        telemetry.tracer.instant(ctx, "ext_wire_drop", label, now,
+                                 (("reason", reason),))
 
 
 def _refresh_packet(
@@ -55,7 +147,15 @@ def _refresh_packet(
 
 
 class Wire(Component):
-    """A full-duplex cable between two NICs."""
+    """A full-duplex cable between two NICs.
+
+    Perfect by default; a rack fault plan (``WIRE_LOSS``/``WIRE_DOWN``,
+    see :mod:`repro.faults.rack`) arms the per-direction
+    :class:`LinkFaults` via :meth:`set_loss`/:meth:`set_down`.
+    ``fault_labels`` overrides the labels used for loss accounting and
+    telemetry so a sharded run's :class:`ShardBoundary` halves can
+    report under identical names.
+    """
 
     def __init__(
         self,
@@ -66,6 +166,7 @@ class Wire(Component):
         propagation_ps: int = DEFAULT_PROPAGATION_PS,
         port_a: int = 0,
         port_b: int = 0,
+        fault_labels: Optional[Dict[str, str]] = None,
     ):
         super().__init__(sim, name)
         if propagation_ps < 0:
@@ -77,36 +178,64 @@ class Wire(Component):
         self.port_b = port_b
         self.a_to_b = Counter(f"{name}.a_to_b")
         self.b_to_a = Counter(f"{name}.b_to_a")
+        labels = fault_labels or {}
+        self.faults: Dict[str, LinkFaults] = {
+            "a": LinkFaults(labels.get("a", f"{name}.a")),
+            "b": LinkFaults(labels.get("b", f"{name}.b")),
+        }
         nic_a.on_transmit(self._from_a)
         nic_b.on_transmit(self._from_b)
 
-    def _refresh(self, packet: Packet) -> Packet:
-        meta = packet.meta
-        return _refresh_packet(
-            packet.data,
-            packet.kind,
-            self.now,
-            meta.tenant,
-            meta.annotations.get("request_ctx"),
-            meta.annotations.get("e2e_t0"),
-        )
+    # -- fault arming (repro.faults.rack) -------------------------------
+
+    def set_loss(self, end: str, drop_p: float, corrupt_p: float,
+                 rng) -> None:
+        """Arm Bernoulli loss on the direction transmitting at ``end``."""
+        self.faults[end].set_loss(drop_p, corrupt_p, rng)
+
+    def set_down(self, down: bool) -> None:
+        """Cut (or restore) the whole cable, both directions."""
+        self.faults["a"].down = down
+        self.faults["b"].down = down
+
+    def wire_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-direction fault accounting, keyed by the fault label."""
+        return {f.label: f.stats() for f in self.faults.values()}
+
+    # -- transfer --------------------------------------------------------
 
     def _from_a(self, packet: Packet) -> None:
         if (packet.meta.egress_port or 0) != self.port_a:
             return  # a different cable serves that port
         self.a_to_b.add()
-        self.schedule(
-            self.propagation_ps, self._deliver, self.nic_b, self.port_b,
-            self._refresh(packet),
-        )
+        self._transfer(packet, self.faults["a"], self.nic_a,
+                       self.nic_b, self.port_b)
 
     def _from_b(self, packet: Packet) -> None:
         if (packet.meta.egress_port or 0) != self.port_b:
             return
         self.b_to_a.add()
+        self._transfer(packet, self.faults["b"], self.nic_b,
+                       self.nic_a, self.port_a)
+
+    def _transfer(self, packet: Packet, faults: LinkFaults, src_nic,
+                  dst_nic, dst_port: int) -> None:
+        data = faults.process(packet.data)
+        if data is None:
+            _trace_wire_drop(src_nic, packet, faults.label, self.now,
+                             "down" if faults.down else "loss")
+            return
+        meta = packet.meta
         self.schedule(
-            self.propagation_ps, self._deliver, self.nic_a, self.port_a,
-            self._refresh(packet),
+            self.propagation_ps, self._deliver, dst_nic, dst_port,
+            _refresh_packet(
+                data,
+                packet.kind,
+                self.now,
+                meta.tenant,
+                meta.annotations.get("request_ctx"),
+                meta.annotations.get("e2e_t0"),
+            ),
         )
 
     @staticmethod
@@ -162,6 +291,7 @@ class ShardBoundary(Component):
         peer_nic: str,
         propagation_ps: int = DEFAULT_PROPAGATION_PS,
         name: Optional[str] = None,
+        fault_label: Optional[str] = None,
     ):
         super().__init__(sim, name or f"boundary.{peer_nic}.p{port}")
         if propagation_ps <= 0:
@@ -174,16 +304,42 @@ class ShardBoundary(Component):
         self._tx_seq = 0
         self.tx_captured = Counter(f"{self.name}.tx")
         self.rx_delivered = Counter(f"{self.name}.rx")
+        #: TX-direction fault state; ``fault_label`` must match the
+        #: monolithic Wire's label for this direction so fault stats and
+        #: telemetry stay mode-independent.
+        self.faults = LinkFaults(fault_label or self.name)
         nic.on_transmit(self._capture)
+
+    # -- fault arming (repro.faults.rack) -------------------------------
+
+    def set_loss(self, drop_p: float, corrupt_p: float, rng) -> None:
+        """Arm Bernoulli loss on the locally-transmitting direction."""
+        self.faults.set_loss(drop_p, corrupt_p, rng)
+
+    def set_down(self, down: bool) -> None:
+        """Cut (or restore) the locally-transmitting direction.
+
+        The peer shard arms its own half at the same fault timestamp, so
+        the whole cable goes down exactly as in the monolithic run.
+        """
+        self.faults.down = down
+
+    def wire_stats(self) -> Dict[str, Dict[str, int]]:
+        return {self.faults.label: self.faults.stats()}
 
     # -- egress ---------------------------------------------------------
 
     def _capture(self, packet: Packet) -> None:
         if (packet.meta.egress_port or 0) != self.port:
             return
+        data = self.faults.process(packet.data)
+        if data is None:
+            _trace_wire_drop(self.nic, packet, self.faults.label, self.now,
+                             "down" if self.faults.down else "loss")
+            return
         meta = packet.meta
         self._outbox.append(PacketCapsule(
-            data=packet.data,
+            data=data,
             kind=packet.kind.value,
             created_ps=self.now,
             arrival_ps=self.now + self.propagation_ps,

@@ -1,0 +1,139 @@
+"""The seeded chaos harness and its delivery invariants.
+
+``repro.reliability.chaos`` turns one integer seed into a random fault
+plan, runs the reliable rack incast monolithically and sharded under it,
+and checks the invariants of DESIGN.md section 12.  These tests pin the
+harness itself: plan generation is a pure function of the seed, the
+invariants hold across a handful of seeds (kept small -- CI runs the
+bigger batch through ``benchmarks/chaos/run_chaos.py``), and the checker
+actually catches the violations it claims to, so a green batch means
+something.
+"""
+
+from types import SimpleNamespace
+
+from repro.reliability.chaos import (
+    _check_case,
+    generate_chaos_plan,
+    run_chaos,
+    run_chaos_case,
+)
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        assert generate_chaos_plan(11, 4).describe() == \
+            generate_chaos_plan(11, 4).describe()
+
+    def test_different_seeds_differ(self):
+        plans = {generate_chaos_plan(s, 4).describe() for s in range(8)}
+        assert len(plans) > 1
+
+    def test_plans_carry_their_seed(self):
+        assert generate_chaos_plan(5, 4).seed == 5
+
+    def test_crashes_spare_the_incast_receiver(self):
+        # nic0 is every fanin flow's receiver; a plan that crashes its
+        # checksum lane would fail all flows at once and tell us nothing.
+        for seed in range(40):
+            plan = generate_chaos_plan(seed, 4)
+            crash_lines = [line for line in plan.describe().splitlines()
+                           if " crash " in line]
+            assert not any("nic0" in line for line in crash_lines)
+
+
+class TestInvariants:
+    def test_invariants_hold_on_a_seed_batch(self):
+        report = run_chaos([0, 1, 2], frames=15, workers=2)
+        assert report["passed"], report["failed_seeds"]
+        assert report["goodput_min"] > 0.0
+        for case in report["cases"]:
+            assert all(case["invariants"].values()), case["violations"]
+
+    def test_case_report_shape(self):
+        case = run_chaos_case(4, frames=10, check_replay=False)
+        assert case["seed"] == 4
+        assert set(case["invariants"]) == {
+            "no_committed_loss", "no_duplicates", "accounting",
+            "mono_eq_sharded", "replay_deterministic",
+        }
+        assert 0.0 <= case["goodput"] <= 1.0
+        assert case["sent"] == 3 * 10  # three fanin senders
+
+
+def _result(reports):
+    return SimpleNamespace(reports=reports, wire_stats={})
+
+
+def _nic_report(deliveries=(), tx_flows=None, failures=()):
+    return {
+        "deliveries": list(deliveries),
+        "tx_flows": tx_flows or {},
+        "failures": list(failures),
+    }
+
+
+class TestCheckerTeeth:
+    """A checker that can't fail is worse than none: feed ``_check_case``
+    hand-built violating runs and make sure each invariant bites."""
+
+    def test_clean_run_passes(self):
+        mono = _result({
+            "nic0": _nic_report(deliveries=[(1, 0, 100, 0)]),
+            "nic1": _nic_report(tx_flows={
+                0: {"sent": 1, "acked": 1, "failed": 0, "aborted": 0},
+            }),
+        })
+        assert _check_case(mono, None, None) == []
+
+    def test_duplicate_delivery_flagged(self):
+        mono = _result({
+            "nic0": _nic_report(
+                deliveries=[(1, 0, 100, 0), (1, 0, 200, 0)]),
+        })
+        assert any("duplicate delivery" in v
+                   for v in _check_case(mono, None, None))
+
+    def test_committed_loss_flagged(self):
+        # nic1 believes seqs 0 and 1 were acked; the receiver only ever
+        # saw seq 0 -- an ACK was forged somewhere.
+        mono = _result({
+            "nic0": _nic_report(deliveries=[(1, 0, 100, 0)]),
+            "nic1": _nic_report(tx_flows={
+                0: {"sent": 2, "acked": 2, "failed": 0, "aborted": 0},
+            }),
+        })
+        assert any("committed loss" in v
+                   for v in _check_case(mono, None, None))
+
+    def test_accounting_leak_flagged(self):
+        mono = _result({
+            "nic0": _nic_report(),
+            "nic1": _nic_report(tx_flows={
+                0: {"sent": 3, "acked": 1, "failed": 1, "aborted": 1},
+            }, failures=[(0, 1, 999, 9)]),
+        })
+        assert any("accounting leak" in v
+                   for v in _check_case(mono, None, None))
+
+    def test_unacked_without_abort_flagged(self):
+        mono = _result({
+            "nic0": _nic_report(),
+            "nic1": _nic_report(tx_flows={
+                0: {"sent": 2, "acked": 1, "failed": 1, "aborted": 0},
+            }),
+        })
+        assert any("DeliveryFailed" in v
+                   for v in _check_case(mono, None, None))
+
+    def test_mono_shard_divergence_flagged(self):
+        mono = _result({"nic0": _nic_report(deliveries=[(1, 0, 100, 0)])})
+        shard = _result({"nic0": _nic_report(deliveries=[(1, 0, 101, 0)])})
+        violations = _check_case(mono, shard, None)
+        assert any("mono != sharded" in v and "nic0" in v
+                   for v in violations)
+
+    def test_replay_divergence_flagged(self):
+        mono = _result({"nic0": _nic_report()})
+        replay = _result({"nic0": _nic_report(deliveries=[(1, 0, 1, 0)])})
+        assert any("replay" in v for v in _check_case(mono, None, replay))

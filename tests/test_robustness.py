@@ -262,6 +262,116 @@ class TestHealthMonitor:
         assert nic.mesh.in_flight == 0
 
 
+class TestHealthMonitorEdges:
+    """Races and double failures around detection and failover."""
+
+    def test_crash_under_live_traffic_fails_over_midstream(self, sim):
+        """The fault fires while frames are in flight: pre-crash traffic
+        flows through the primary, the loss window is fully accounted as
+        blackholed, and post-detection traffic rides the backup."""
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        frames = 30
+        for i in range(frames):
+            sim.schedule_at(
+                i * US, nic.inject, Packet(good_frame(dscp=10)))
+        FaultInjector(
+            nic, FaultPlan().crash_engine(10 * US, "ipsec")
+        ).arm()
+        sim.run(until_ps=60 * US)
+        monitor.stop()
+        sim.run()
+        assert monitor.failed_at.keys() == {"ipsec"}
+        assert nic.failovers.value == 1
+        # Detection <= crash + timeout + period, so frames injected from
+        # 17 us on must all flow through the backup lane.
+        assert nic.offload("ipsec1").processed.value >= frames - 17
+        # Nothing vanished uncounted: every frame either reached the
+        # host or was blackholed at the dead tile (which also sinks the
+        # probe(s) the monitor had in flight when it died).
+        blackholed = nic.offload("ipsec").blackholed.value
+        assert len(delivered) + blackholed >= frames
+        assert len(delivered) >= frames - 17
+        assert nic.mesh.in_flight == 0
+
+    def test_backup_crash_after_failover_detected_too(self, sim):
+        """Double failure: the backup the first failover steered traffic
+        onto dies as well; the monitor (watching both lanes) removes the
+        hop entirely and traffic still reaches the host."""
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, engines=["ipsec", "ipsec1"],
+            period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        FaultInjector(nic, FaultPlan()
+                      .crash_engine(10 * US, "ipsec")
+                      .crash_engine(30 * US, "ipsec1")).arm()
+        sim.run(until_ps=50 * US)
+        monitor.stop()
+        delivered = []
+        nic.host.software_handler = lambda p, q: delivered.append(p)
+        nic.inject(Packet(good_frame(dscp=10)))
+        sim.run()
+        assert monitor.failed_at.keys() == {"ipsec", "ipsec1"}
+        assert monitor.failed_at["ipsec"] < monitor.failed_at["ipsec1"]
+        assert nic.failovers.value == 2
+        # ipsec1 had no backup of its own: the hop was cut, not
+        # black-holed, so the late frame still lands in software.
+        assert len(delivered) == 1
+        assert nic.mesh.in_flight == 0
+
+    def test_recover_inside_timeout_beats_the_watchdog(self, sim):
+        """RECOVER races the heartbeat timeout and wins: the parked
+        probe echoes before the outstanding age crosses the line, so no
+        failover happens."""
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        FaultInjector(nic, FaultPlan()
+                      .stall_engine(5 * US, "ipsec")
+                      .recover_engine(7 * US, "ipsec")).arm()
+        sim.run(until_ps=30 * US)
+        monitor.stop()
+        sim.run()
+        assert monitor.failed_at == {}
+        assert monitor.watchdog_fires.value == 0
+        assert nic.failovers.value == 0
+
+    def test_recover_after_timeout_loses_the_race(self, sim):
+        """RECOVER lands after the watchdog already declared the engine
+        dead: the failover stands, the late echo is ignored as stale,
+        and clear() resumes probing without a second fire."""
+        nic = failover_nic(sim)
+        monitor = attach_health_monitor(
+            nic, period_ps=2 * US, timeout_ps=4 * US)
+        monitor.start()
+        FaultInjector(nic, FaultPlan()
+                      .stall_engine(5 * US, "ipsec")
+                      .recover_engine(15 * US, "ipsec")).arm()
+        sim.run(until_ps=14 * US)
+        assert monitor.failed_at.keys() == {"ipsec"}
+        declared_at = monitor.failed_at["ipsec"]
+        assert declared_at < 15 * US  # the watchdog won the race
+        assert nic.failovers.value == 1
+        sim.run(until_ps=20 * US)
+        # Recovery released the parked probe; its echo must not
+        # resurrect the flow state or double-count a failure.
+        assert monitor.failures_detected.value == 1
+        monitor.clear("ipsec")
+        sim.run(until_ps=40 * US)
+        monitor.stop()
+        sim.run()
+        # Probing resumed against the healthy engine: no new fire.
+        assert monitor.failed_at == {}
+        assert monitor.watchdog_fires.value == 1
+        assert nic.mesh.in_flight == 0
+
+
 class TestCorruptionDetection:
     def test_corrupted_frame_dropped_and_counted(self, sim):
         """A link bit-flip in a checksummed byte is caught at the RMT
@@ -341,9 +451,23 @@ class TestFaultPlan:
             FaultPlan().corrupt_link(0, "ch", bits=0)
 
     def test_unknown_target_fails_loudly(self, sim, nic):
-        FaultInjector(nic, FaultPlan().crash_engine(0, "nope")).arm()
-        with pytest.raises(KeyError):
-            sim.run()
+        # Arm time, not run time: a typo'd plan must not silently never
+        # fire, nor explode only when its event's timestamp comes up.
+        with pytest.raises(KeyError, match="nope"):
+            FaultInjector(nic, FaultPlan().crash_engine(0, "nope")).arm()
+        assert sim.run() == 0  # nothing was scheduled
+
+    def test_unknown_channel_fails_loudly_at_arm(self, sim, nic):
+        with pytest.raises(ValueError, match="no_such_channel"):
+            FaultInjector(
+                nic, FaultPlan().drop_on_link(0, "no_such_channel")
+            ).arm()
+
+    def test_wire_kinds_rejected_by_single_nic_injector(self, sim, nic):
+        with pytest.raises(ValueError, match="repro.faults.rack"):
+            FaultInjector(
+                nic, FaultPlan().wire_down(0, "wire_0_1")
+            ).arm()
 
     def test_arming_twice_is_an_error(self, sim, nic):
         injector = FaultInjector(nic, FaultPlan())

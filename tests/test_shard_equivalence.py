@@ -119,6 +119,20 @@ class TestProtocolEdges:
         assert "pending" in str(excinfo.value)
         assert excinfo.value.shard in (0, 1)
 
+    def test_deadlock_report_names_shard_nics_and_starved_engines(self):
+        # The report must say *where* to look: which NICs live on the
+        # wedged shard, and which engines still hold work (or an explicit
+        # statement that none do, pointing at wires/host timers instead).
+        topo = rack_topology(nics=2, frames=50, gap_ps=100 * NS)
+        with pytest.raises(ShardDeadlockError) as excinfo:
+            run_sharded(topo, workers=2, window_event_budget=10)
+        message = str(excinfo.value)
+        assert "shard NICs:" in message
+        named = [n for n in ("nic0", "nic1") if n in message]
+        assert named, message
+        assert ("starved engines:" in message
+                or "no engine holds work" in message), message
+
     def test_single_worker_runs_one_window(self):
         topo = rack_topology(nics=3, frames=4)
         result = run_sharded(topo, workers=1)
