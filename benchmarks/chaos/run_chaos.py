@@ -2,8 +2,9 @@
 
 Generates one random :class:`~repro.faults.plan.FaultPlan` per seed
 (lossy/corrupting wires, link flaps, engine slowdowns and crashes), runs
-the reliable rack incast under it monolithically *and* sharded, and
-asserts the delivery invariants of DESIGN.md section 12:
+the reliable rack incast under it monolithically *and* sharded -- once
+per requested transport config -- and asserts the delivery invariants of
+DESIGN.md section 12:
 
 1. no committed frame lost (everything cumulatively ACKed reached the
    receiving host),
@@ -13,17 +14,30 @@ asserts the delivery invariants of DESIGN.md section 12:
 4. mono == sharded bit-identical reports and wire stats,
 5. replay-from-seed determinism.
 
+Transport configs (``--transports``, comma list): ``gbn`` (go-back-N,
+fixed RTO), ``sr`` (selective repeat with SACK + adaptive RTO), and
+``gbn+ll`` (go-back-N with link-local repair armed on every wire).  The
+same seed faces the same fault weather under each config, so the
+per-config summaries are a controlled recovery-strategy comparison.
+
+Link-local configs additionally gate on a **per-seed goodput floor**
+(``--floor``; default from ``floor.json`` next to this script): sub-RTT
+repair plus checksum-lane failover must hold every seed at or above the
+floor, and a dip is a CI failure even though it breaks no invariant.
+
 Writes ``BENCH_chaos.json`` in the stable ``repro-bench/2`` envelope.
-Series metrics per seed (workload key ``chaos_seed{n}``):
-``invariants_ok`` (0/1), ``goodput``, ``retransmits``,
-``delivery_failures``.  Exits non-zero when any invariant is violated,
-which is the whole point of the CI job.
+Series metrics per seed and config (workload key
+``chaos_seed{n}_{config}``): ``invariants_ok`` (0/1), ``goodput``,
+``retransmits``, ``rto_fired``, ``delivery_failures``, ``ll_repaired``,
+``fct_mean_ps``.  Exits non-zero when any invariant -- or the goodput
+floor -- is violated, which is the whole point of the CI job.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/chaos/run_chaos.py \
         --out BENCH_chaos.json [--seeds 0,1,2,3,4] [--nics 4] \
-        [--frames 30] [--workers 2] [--pattern fanin]
+        [--frames 30] [--workers 2] [--pattern fanin] \
+        [--transports gbn,sr,gbn+ll] [--floor 0.95]
 
 The same engine backs ``python -m repro chaos`` for interactive use.
 """
@@ -31,6 +45,7 @@ The same engine backs ``python -m repro chaos`` for interactive use.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -41,6 +56,11 @@ from bench_schema import envelope, write_json  # noqa: E402
 
 from repro.reliability.chaos import run_chaos  # noqa: E402
 
+#: Floor config shipped next to this script; CI reads the floor from it
+#: so the gate value is versioned with the code it gates.
+FLOOR_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "floor.json")
+
 
 def parse_seeds(text: str):
     """``"0,1,2"`` or ``"0..9"`` -> list of ints."""
@@ -48,6 +68,11 @@ def parse_seeds(text: str):
         first, last = text.split("..", 1)
         return list(range(int(first), int(last) + 1))
     return [int(part) for part in text.split(",") if part]
+
+
+def default_floor() -> float:
+    with open(FLOOR_FILE) as fh:
+        return float(json.load(fh)["goodput_floor"])
 
 
 def main(argv=None) -> int:
@@ -63,17 +88,28 @@ def main(argv=None) -> int:
                         help="shard worker processes for the sharded leg")
     parser.add_argument("--pattern", choices=("fanin", "symmetric"),
                         default="fanin")
+    parser.add_argument("--transports", default="gbn",
+                        help="comma list of configs: gbn, sr, gbn+ll")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="per-seed goodput floor for link-local "
+                             "configs (default: floor.json)")
+    parser.add_argument("--no-failover", action="store_true",
+                        help="run without the spare checksum lane + "
+                             "health monitor")
     parser.add_argument("--no-replay", action="store_true",
                         help="skip the third (replay determinism) run")
     args = parser.parse_args(argv)
 
     seeds = parse_seeds(args.seeds)
+    configs = tuple(part for part in args.transports.split(",") if part)
+    floor = args.floor if args.floor is not None else default_floor()
 
     def progress(case):
         verdict = "pass" if case["passed"] else "FAIL"
-        print(f"seed {case['seed']:>3}: {verdict}  "
+        print(f"seed {case['seed']:>3} [{case['config']:>6}]: {verdict}  "
               f"goodput={case['goodput']:.3f}  faults={case['events']}  "
               f"retx={case['retransmits']}  "
+              f"ll_repair={case['linklayer']['repaired']}  "
               f"aborts={case['delivery_failures']}")
         for violation in case["violations"]:
             print(f"  ! {violation}")
@@ -81,39 +117,67 @@ def main(argv=None) -> int:
     report = run_chaos(
         seeds, nics=args.nics, pattern=args.pattern, frames=args.frames,
         workers=args.workers, check_replay=not args.no_replay,
-        progress=progress,
+        progress=progress, configs=configs,
+        failover=not args.no_failover, goodput_floor=floor,
     )
 
     series = []
     workloads = {}
     for case in report["cases"]:
-        key = f"chaos_seed{case['seed']}"
+        key = f"chaos_seed{case['seed']}_{case['config']}"
         workloads[key] = case
         for metric, value in (
             ("invariants_ok", int(case["passed"])),
             ("goodput", case["goodput"]),
             ("retransmits", case["retransmits"]),
+            ("rto_fired", case["rto_fired"]),
             ("delivery_failures", case["delivery_failures"]),
+            ("ll_repaired", case["linklayer"]["repaired"]),
+            ("fct_mean_ps", case["fct_mean_ps"]),
         ):
             series.append(
                 {"workload": key, "metric": metric, "value": value})
+    for config, summary in report["by_config"].items():
+        for metric in ("goodput_min", "goodput_mean", "retransmits",
+                       "rto_fired", "fct_mean_ps", "ll_repaired"):
+            series.append({"workload": f"chaos_batch_{config}",
+                           "metric": metric, "value": summary[metric]})
     series.append({"workload": "chaos_batch", "metric": "goodput_min",
                    "value": report["goodput_min"]})
     series.append({"workload": "chaos_batch", "metric": "all_pass",
                    "value": int(report["passed"])})
+    series.append({"workload": "chaos_batch", "metric": "floor_ok",
+                   "value": int(report["floor_ok"])})
 
     write_json(args.out, envelope(
         "chaos", dict(report["params"], replay=not args.no_replay),
         workloads, series,
     ))
 
+    for config, summary in report["by_config"].items():
+        print(f"[{config:>6}] goodput min/mean {summary['goodput_min']:.3f}"
+              f"/{summary['goodput_mean']:.3f}  "
+              f"retx {summary['retransmits']}  "
+              f"rto {summary['rto_fired']}  "
+              f"ll_repair {summary['ll_repaired']}  "
+              f"fct_mean {summary['fct_mean_ps'] / 1e6:.1f} us")
     print(f"goodput min/mean: {report['goodput_min']:.3f} / "
           f"{report['goodput_mean']:.3f}")
+    failed = False
     if not report["passed"]:
         print(f"INVARIANT VIOLATIONS on seeds {report['failed_seeds']}",
               file=sys.stderr)
+        failed = True
+    if not report["floor_ok"]:
+        for breach in report["floor_failures"]:
+            print(f"GOODPUT FLOOR BREACH seed {breach['seed']} "
+                  f"[{breach['config']}]: {breach['goodput']:.3f} < "
+                  f"{floor:.2f}", file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    print(f"all invariants hold on {len(seeds)} seeds")
+    print(f"all invariants hold on {len(seeds)} seeds x "
+          f"{len(configs)} configs (floor {floor:.2f})")
     return 0
 
 

@@ -240,12 +240,16 @@ def cmd_trace(frames: int = 32, sample_every: int = 1,
 
 def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
               workers: int = 2, frames: int = 30, pattern: str = "fanin",
-              out: str = "") -> None:
+              transport: str = "gbn", out: str = "") -> None:
     """Break the rack on purpose: run seeded chaos cases on the reliable
     incast and gate on the delivery invariants (DESIGN.md section 12).
 
-    Exits non-zero if any invariant is violated -- the same gate the CI
-    ``chaos-smoke`` job runs via ``benchmarks/chaos/run_chaos.py``.
+    ``transport`` picks the recovery strategy: ``gbn`` (go-back-N),
+    ``sr`` (selective repeat + adaptive RTO), or ``gbn+ll`` (go-back-N
+    with link-local repair armed on every wire; additionally gated on
+    the per-seed goodput floor).  Exits non-zero if any invariant -- or
+    the floor -- is violated, the same gate the CI ``chaos-smoke`` job
+    runs via ``benchmarks/chaos/run_chaos.py``.
     """
     import json
 
@@ -253,21 +257,28 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
 
     def progress(case: dict) -> None:
         verdict = "pass" if case["passed"] else "FAIL"
-        print(f"  seed {case['seed']:>3}: {verdict}  "
+        print(f"  seed {case['seed']:>3} [{case['config']:>6}]: {verdict}  "
               f"goodput={case['goodput']:.3f}  "
               f"faults={case['events']}  retx={case['retransmits']}  "
+              f"ll_repair={case['linklayer']['repaired']}  "
               f"aborts={case['delivery_failures']}")
 
     seed_list = list(range(first_seed, first_seed + seeds))
     print(f"chaos: {len(seed_list)} seeds on a {nics}-NIC {pattern} rack, "
-          f"{frames} frames/flow, mono + {workers}-worker sharded")
+          f"{frames} frames/flow, transport {transport}, "
+          f"mono + {workers}-worker sharded")
     report = run_chaos(seed_list, nics=nics, pattern=pattern, frames=frames,
-                       workers=workers, progress=progress)
+                       workers=workers, progress=progress,
+                       configs=(transport,))
     print(f"goodput min/mean      : {report['goodput_min']:.3f} / "
           f"{report['goodput_mean']:.3f}")
     print("invariants            :",
           "all hold" if report["passed"]
           else f"VIOLATED on seeds {report['failed_seeds']}")
+    if report["params"]["goodput_floor"] is not None and "+" in transport:
+        print("goodput floor         :",
+              f"{report['params']['goodput_floor']:.2f} "
+              + ("held" if report["floor_ok"] else "BREACHED"))
     if out:
         with open(out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
@@ -277,6 +288,11 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
             for violation in case["violations"]:
                 print(f"  seed {case['seed']}: {violation}")
         raise SystemExit("chaos invariants violated")
+    if not report["floor_ok"]:
+        for breach in report["floor_failures"]:
+            print(f"  seed {breach['seed']} [{breach['config']}]: "
+                  f"goodput {breach['goodput']:.3f} below floor")
+        raise SystemExit("chaos goodput floor breached")
 
 
 COMMANDS = {
@@ -329,6 +345,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="number of chaos seeds to run")
     chaos.add_argument("--first-seed", type=int, default=0,
                        help="first seed of the range")
+    chaos.add_argument("--transport", default="gbn",
+                       choices=("gbn", "sr", "gbn+ll"),
+                       help="recovery strategy: go-back-N, selective "
+                            "repeat, or go-back-N + link-local repair")
     chaos.add_argument("--chaos-out", default="",
                        help="write the chaos report JSON here")
     args = parser.parse_args(argv)
@@ -349,7 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cmd_chaos(seeds=args.seeds, first_seed=args.first_seed,
                   nics=args.nics, workers=args.workers or 2,
                   frames=args.frames, pattern=args.pattern or "fanin",
-                  out=args.chaos_out)
+                  transport=args.transport, out=args.chaos_out)
     else:
         COMMANDS[args.command]()
     return 0

@@ -25,14 +25,15 @@ PIFO_CORRUPT = "pifo_corrupt"
 WIRE_DOWN = "wire_down"
 WIRE_UP = "wire_up"
 WIRE_LOSS = "wire_loss"
+WIRE_LINKLAYER = "wire_linklayer"
 
 KINDS = (CRASH, STALL, SLOW, RECOVER, LINK_CORRUPT, LINK_DROP, PIFO_CORRUPT,
-         WIRE_DOWN, WIRE_UP, WIRE_LOSS)
+         WIRE_DOWN, WIRE_UP, WIRE_LOSS, WIRE_LINKLAYER)
 
 #: Kinds targeting an *external* wire between two NICs (rack scope).
 #: These cannot be armed by a single-NIC :class:`FaultInjector`; use
 #: :mod:`repro.faults.rack` through ``run_monolithic``/``run_sharded``.
-WIRE_KINDS = (WIRE_DOWN, WIRE_UP, WIRE_LOSS)
+WIRE_KINDS = (WIRE_DOWN, WIRE_UP, WIRE_LOSS, WIRE_LINKLAYER)
 
 
 @dataclass(frozen=True)
@@ -170,6 +171,30 @@ class FaultPlan:
                 raise ValueError(f"{label} must be in [0, 1], got {p}")
         return self._add(at_ps, WIRE_LOSS, wire,
                          drop_p=drop_p, corrupt_p=corrupt_p)
+
+    def link_local(
+        self, at_ps: int, wire: str,
+        hold_frames: Optional[int] = None,
+        max_repair: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Arm LinkGuardian-style sub-RTT repair on both directions of a
+        cable from ``at_ps`` on: the receiver NACKs dropped/corrupted
+        frames, the sender retransmits from a bounded ``hold_frames``
+        hold buffer (up to ``max_repair`` times per frame), and repaired
+        frames hand off to the next hop in order.  See
+        :mod:`repro.reliability.linklayer`."""
+        params = {}
+        if hold_frames is not None:
+            if hold_frames < 1:
+                raise ValueError(
+                    f"hold_frames must be >= 1, got {hold_frames}")
+            params["hold_frames"] = hold_frames
+        if max_repair is not None:
+            if max_repair < 1:
+                raise ValueError(
+                    f"max_repair must be >= 1, got {max_repair}")
+            params["max_repair"] = max_repair
+        return self._add(at_ps, WIRE_LINKLAYER, wire, **params)
 
     # -- introspection ---------------------------------------------------
 

@@ -32,6 +32,7 @@ from repro.faults.plan import (
     FaultPlan,
     WIRE_DOWN,
     WIRE_KINDS,
+    WIRE_LINKLAYER,
     WIRE_LOSS,
     WIRE_UP,
 )
@@ -137,21 +138,25 @@ class WireEnd(NamedTuple):
 
     set_loss: Callable[[float, float, SeededRng], None]
     set_down: Callable[[bool], None]
+    set_linklayer: Callable[[dict], None]
 
 
 def wire_ends(wire, index: int) -> Dict[Tuple[int, str], WireEnd]:
     """Both directions of a monolithic (or intra-shard) ``Wire``."""
     return {
         (index, "a"): WireEnd(
-            lambda d, c, r: wire.set_loss("a", d, c, r), wire.set_down),
+            lambda d, c, r: wire.set_loss("a", d, c, r), wire.set_down,
+            lambda params: wire.set_linklayer("a", params)),
         (index, "b"): WireEnd(
-            lambda d, c, r: wire.set_loss("b", d, c, r), wire.set_down),
+            lambda d, c, r: wire.set_loss("b", d, c, r), wire.set_down,
+            lambda params: wire.set_linklayer("b", params)),
     }
 
 
 def boundary_end(boundary, index: int, end: str) -> Dict[Tuple[int, str], WireEnd]:
     """The locally-transmitting direction of a cross-shard boundary."""
-    return {(index, end): WireEnd(boundary.set_loss, boundary.set_down)}
+    return {(index, end): WireEnd(boundary.set_loss, boundary.set_down,
+                                  boundary.set_linklayer)}
 
 
 class RackFaultSession:
@@ -204,6 +209,11 @@ def arm_rack_faults(
                         event.at_ps, adapter.set_loss,
                         event.params["drop_p"], event.params["corrupt_p"],
                         rng,
+                    )
+                elif event.kind == WIRE_LINKLAYER:
+                    sim.schedule_at(
+                        event.at_ps, adapter.set_linklayer,
+                        dict(event.params),
                     )
         else:
             _, nic_name, local_event = resolution

@@ -10,14 +10,34 @@ delivery guarantees when :mod:`repro.faults.rack` makes the cables lie:
   ACKs, RTO with exponential backoff and seeded jitter, bounded retries
   surfacing :class:`DeliveryFailed`, receiver-side duplicate
   suppression);
-* :mod:`repro.reliability.rack` -- the rack workload wired through it
-  (``reliable_rack_topology``), the subject of the chaos harness;
+* :class:`SelectiveRepeatTransport` -- the upgrade: per-segment SACK
+  blocks, out-of-order receiver buffering with in-order delivery, and
+  an adaptive RTO from measured RTT (:class:`RttEstimator`, Karn's
+  rule) in a finite wrapping sequence space;
+* :mod:`repro.reliability.linklayer` -- LinkGuardian-style sub-RTT
+  repair between adjacent hops, armed per wire via
+  :meth:`repro.faults.plan.FaultPlan.link_local`, so most losses never
+  reach the host timer at all;
+* :mod:`repro.reliability.rack` -- the rack workload wired through
+  either transport (``reliable_rack_topology``), the subject of the
+  chaos harness;
 * :mod:`repro.reliability.chaos` -- seeded random fault plans plus the
   invariant checks (``no committed loss``, ``no duplicates``,
   ``mono == sharded``, ``replay determinism``) behind
-  ``benchmarks/chaos/run_chaos.py`` and ``python -m repro chaos``.
+  ``benchmarks/chaos/run_chaos.py`` and ``python -m repro chaos``, now
+  running each seed under every requested transport config
+  (``gbn`` / ``sr`` / ``gbn+ll``).
 """
 
+from repro.reliability.linklayer import LinkLayer
+from repro.reliability.selective import (
+    RttEstimator,
+    SelectiveRepeatTransport,
+    SEQ_SPACE,
+    parse_sr_segment,
+    seq_unwrap,
+    seq_wrap,
+)
 from repro.reliability.transport import (
     ACK,
     DATA,
@@ -31,7 +51,14 @@ __all__ = [
     "ACK",
     "DATA",
     "DeliveryFailed",
+    "LinkLayer",
     "ReliableTransport",
+    "RttEstimator",
+    "SEQ_SPACE",
+    "SelectiveRepeatTransport",
     "default_rto_ps",
     "parse_segment",
+    "parse_sr_segment",
+    "seq_unwrap",
+    "seq_wrap",
 ]

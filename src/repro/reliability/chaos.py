@@ -24,6 +24,17 @@ Goodput retained (delivered frames over offered frames) is reported per
 case; it is a *measurement*, not an invariant -- a chaos plan that cuts
 a wire forever legitimately sinks goodput, while the invariants above
 must survive anything.
+
+A case runs under one **transport config** -- ``"gbn"`` (go-back-N),
+``"sr"`` (selective repeat with SACK + adaptive RTO), or ``"gbn+ll"``
+(go-back-N with LinkGuardian-style link-local repair armed on every
+wire) -- and :func:`run_chaos` runs each seed under every requested
+config, so one batch yields the recovery-strategy comparison (retransmit
+counts, goodput, flow completion times) the experiment log tracks.
+With link-local repair armed, goodput additionally carries a CI floor:
+sub-RTT repair plus checksum-lane failover is expected to hold the rack
+at near-full goodput under the chaos mix, and a seed dipping below the
+floor is a regression even though it violates no invariant.
 """
 
 from __future__ import annotations
@@ -35,6 +46,21 @@ from repro.faults.rack import wire_target
 from repro.reliability.rack import reliable_rack_topology
 from repro.sim.clock import US
 from repro.sim.rng import SeededRng
+
+#: Transport configs a chaos case can run under.
+TRANSPORT_CONFIGS = ("gbn", "sr", "gbn+ll")
+
+#: Per-seed goodput floor enforced for link-local configs (CI gate).
+DEFAULT_GOODPUT_FLOOR = 0.95
+
+
+def split_config(config: str):
+    """``"gbn+ll"`` -> ``("gbn", True)``; validates the vocabulary."""
+    transport, _sep, suffix = config.partition("+")
+    if transport not in ("gbn", "sr") or _sep and suffix != "ll":
+        raise ValueError(
+            f"unknown transport config {config!r}; have {TRANSPORT_CONFIGS}")
+    return transport, bool(_sep)
 
 #: Engines a chaos plan may wound: present on every rack NIC and on the
 #: data path, so faults bite without invalidating the plan.
@@ -51,15 +77,22 @@ CRASH_P = 0.15             # chance one engine is crashed outright
 
 
 def generate_chaos_plan(seed: int, nics: int,
-                        horizon_ps: int = 100 * US) -> FaultPlan:
+                        horizon_ps: int = 100 * US,
+                        link_local: bool = False) -> FaultPlan:
     """A random-but-reproducible fault mix for an ``nics``-NIC rack.
 
     Every stochastic choice comes from forks of ``seed``, so equal seeds
     build equal plans (the replay-determinism invariant leans on this).
     ``horizon_ps`` bounds fault timing -- roughly the active traffic
-    window of the incast.
+    window of the incast.  With ``link_local`` every wire additionally
+    arms sub-RTT repair from t=0 (the fault mix itself is unchanged, so
+    a ``gbn`` vs ``gbn+ll`` pair of cases faces identical weather).
     """
     plan = FaultPlan(seed=seed)
+    if link_local:
+        for i in range(nics):
+            for j in range(i + 1, nics):
+                plan.link_local(0, wire_target(i, j))
     rng = SeededRng(seed).fork("chaosplan")
     wires = [(i, j) for i in range(nics) for j in range(i + 1, nics)]
     for i, j in wires:
@@ -157,8 +190,16 @@ def run_chaos_case(
     frames: int = 30,
     workers: int = 2,
     check_replay: bool = True,
+    config: str = "gbn",
+    failover: bool = True,
 ) -> dict:
     """Run one seeded chaos case end to end; returns a picklable report.
+
+    ``config`` picks the recovery strategy (see
+    :data:`TRANSPORT_CONFIGS`); the fault mix depends only on the seed,
+    so cases differing only in ``config`` are directly comparable.
+    ``failover`` arms the spare checksum lane + health monitor on every
+    NIC (the hardened rack CI gates on).
 
     ``invariants`` maps each invariant to a bool; ``violations`` lists
     the specifics when something broke.  ``goodput`` is delivered over
@@ -166,17 +207,21 @@ def run_chaos_case(
     """
     from repro.sim.shard import run_monolithic, run_sharded
 
+    transport, link_local = split_config(config)
+
     def topology():
         return reliable_rack_topology(
             nics=nics, pattern=pattern, frames=frames, seed=seed,
+            transport=transport, failover=failover,
         )
 
-    plan = generate_chaos_plan(seed, nics)
+    def chaos_plan():
+        return generate_chaos_plan(seed, nics, link_local=link_local)
+
+    plan = chaos_plan()
     mono = run_monolithic(topology(), fault_plan=plan)
-    shard = run_sharded(topology(), workers=workers,
-                        fault_plan=generate_chaos_plan(seed, nics))
-    replay = (run_monolithic(topology(),
-                             fault_plan=generate_chaos_plan(seed, nics))
+    shard = run_sharded(topology(), workers=workers, fault_plan=chaos_plan())
+    replay = (run_monolithic(topology(), fault_plan=chaos_plan())
               if check_replay else None)
 
     violations = _check_case(mono, shard, replay)
@@ -192,8 +237,18 @@ def run_chaos_case(
         label: stats for label, stats in sorted(mono.wire_stats.items())
         if stats["loss_drops"] or stats["corruptions"] or stats["down_drops"]
     }
+    fcts = [t for r in mono.reports.values()
+            for t in r.get("fct", {}).values()]
+    linklayer = {
+        "protected": 0, "nacks": 0, "retransmits": 0,
+        "repaired": 0, "gave_up": 0, "bypassed": 0,
+    }
+    for stats in mono.wire_stats.values():
+        for key in linklayer:
+            linklayer[key] += stats.get("linklayer", {}).get(key, 0)
     return {
         "seed": seed,
+        "config": config,
         "plan": plan.describe(),
         "events": len(plan),
         "invariants": {
@@ -220,6 +275,9 @@ def run_chaos_case(
             for r in mono.reports.values()
         ),
         "delivery_failures": failures,
+        "fct_mean_ps": int(sum(fcts) / len(fcts)) if fcts else 0,
+        "fct_max_ps": max(fcts) if fcts else 0,
+        "linklayer": linklayer,
         "wire_faults": wire_faults,
     }
 
@@ -233,26 +291,76 @@ def run_chaos(
     workers: int = 2,
     check_replay: bool = True,
     progress: Optional[callable] = None,
+    configs=("gbn",),
+    failover: bool = True,
+    goodput_floor: Optional[float] = DEFAULT_GOODPUT_FLOOR,
 ) -> dict:
-    """Run a batch of chaos cases; the harness/CLI entry point."""
+    """Run a batch of chaos cases; the harness/CLI entry point.
+
+    Each seed runs once per entry of ``configs`` (same fault weather,
+    different recovery strategy); ``by_config`` summarises each
+    strategy so the comparison reads off directly.  ``goodput_floor``
+    applies to link-local configs only -- sub-RTT repair is the
+    mechanism that justifies gating goodput in CI -- and floor breaches
+    land in ``floor_failures`` without flipping ``passed`` (invariants
+    and floors fail independently; the benchmark runner exits nonzero
+    on either).
+    """
+    for config in configs:
+        split_config(config)  # fail fast on vocabulary typos
     cases = []
     for seed in seeds:
-        case = run_chaos_case(
-            seed, nics=nics, pattern=pattern, frames=frames,
-            workers=workers, check_replay=check_replay,
-        )
-        cases.append(case)
-        if progress is not None:
-            progress(case)
+        for config in configs:
+            case = run_chaos_case(
+                seed, nics=nics, pattern=pattern, frames=frames,
+                workers=workers, check_replay=check_replay,
+                config=config, failover=failover,
+            )
+            cases.append(case)
+            if progress is not None:
+                progress(case)
+
+    by_config = {}
+    for config in configs:
+        rows = [c for c in cases if c["config"] == config]
+        goodputs = [c["goodput"] for c in rows]
+        fcts = [c["fct_mean_ps"] for c in rows if c["fct_mean_ps"]]
+        by_config[config] = {
+            "passed": all(c["passed"] for c in rows),
+            "goodput_min": min(goodputs) if goodputs else 1.0,
+            "goodput_mean": (sum(goodputs) / len(goodputs)
+                             if goodputs else 1.0),
+            "retransmits": sum(c["retransmits"] for c in rows),
+            "rto_fired": sum(c["rto_fired"] for c in rows),
+            "delivery_failures": sum(c["delivery_failures"] for c in rows),
+            "fct_mean_ps": int(sum(fcts) / len(fcts)) if fcts else 0,
+            "ll_repaired": sum(c["linklayer"]["repaired"] for c in rows),
+            "ll_gave_up": sum(c["linklayer"]["gave_up"] for c in rows),
+        }
+
+    floor_failures = []
+    if goodput_floor is not None:
+        floor_failures = [
+            {"seed": c["seed"], "config": c["config"],
+             "goodput": c["goodput"]}
+            for c in cases
+            if split_config(c["config"])[1] and c["goodput"] < goodput_floor
+        ]
+
     goodputs = [case["goodput"] for case in cases]
     return {
         "params": {
             "nics": nics, "pattern": pattern, "frames": frames,
             "workers": workers, "seeds": list(seeds),
+            "configs": list(configs), "failover": failover,
+            "goodput_floor": goodput_floor,
         },
         "cases": cases,
+        "by_config": by_config,
         "passed": all(case["passed"] for case in cases),
-        "failed_seeds": [c["seed"] for c in cases if not c["passed"]],
+        "failed_seeds": sorted({c["seed"] for c in cases if not c["passed"]}),
+        "floor_failures": floor_failures,
+        "floor_ok": not floor_failures,
         "goodput_min": min(goodputs) if goodputs else 1.0,
         "goodput_mean": (sum(goodputs) / len(goodputs)) if goodputs else 1.0,
     }

@@ -101,7 +101,7 @@ class _TxFlow:
     """Sender state for one destination."""
 
     __slots__ = ("dst", "payloads", "base", "next_seq", "rto_ps",
-                 "retries", "timer_gen", "aborted")
+                 "retries", "timer_gen", "aborted", "completed_ps")
 
     def __init__(self, dst: int):
         self.dst = dst
@@ -112,6 +112,7 @@ class _TxFlow:
         self.retries = 0     # consecutive expiries without progress
         self.timer_gen = 0   # invalidates stale timer events
         self.aborted = False
+        self.completed_ps: Optional[int] = None  # last payload acked at
 
 
 class ReliableTransport:
@@ -214,6 +215,7 @@ class ReliableTransport:
             flow = self._tx[dst] = _TxFlow(dst)
             flow.rto_ps = self.rto_initial_ps
         flow.payloads.append(bytes(payload))
+        flow.completed_ps = None
         self._pump(flow)
 
     def _pump(self, flow: _TxFlow) -> None:
@@ -289,6 +291,7 @@ class ReliableTransport:
         flow.rto_ps = self.rto_initial_ps
         if flow.base >= flow.next_seq and flow.next_seq >= len(flow.payloads):
             flow.timer_gen += 1  # flow complete: disarm
+            flow.completed_ps = self.sim.now
         self._pump(flow)
 
     # ------------------------------------------------------------------
@@ -371,6 +374,15 @@ class ReliableTransport:
                 "aborted": int(flow.aborted),
             }
         return out
+
+    def fct_report(self) -> Dict[int, int]:
+        """Flow completion times: dst -> instant the last offered
+        payload was cumulatively acknowledged (completed flows only)."""
+        return {
+            dst: flow.completed_ps
+            for dst, flow in sorted(self._tx.items())
+            if flow.completed_ps is not None
+        }
 
     def failure_report(self) -> List[tuple]:
         """Picklable ``DeliveryFailed`` records."""

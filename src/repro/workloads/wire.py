@@ -22,7 +22,7 @@ scheduled for delivery at exactly the timestamp the monolithic
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.packet.packet import MessageKind, Packet
 from repro.sim.clock import NS
@@ -48,7 +48,7 @@ class LinkFaults:
 
     __slots__ = ("label", "down", "drop_p", "corrupt_p", "rng",
                  "offered", "forwarded", "loss_drops", "corruptions",
-                 "down_drops")
+                 "down_drops", "linklayer")
 
     def __init__(self, label: str):
         #: Execution-mode-independent name used in stats and telemetry.
@@ -57,6 +57,9 @@ class LinkFaults:
         self.drop_p = 0.0
         self.corrupt_p = 0.0
         self.rng = None
+        #: Optional :class:`~repro.reliability.linklayer.LinkLayer`
+        #: repairing this direction sub-RTT (armed by WIRE_LINKLAYER).
+        self.linklayer = None
         self.offered = Counter(f"{label}.offered")
         self.forwarded = Counter(f"{label}.forwarded")
         self.loss_drops = Counter(f"{label}.loss_drops")
@@ -74,39 +77,75 @@ class LinkFaults:
         self.corrupt_p = corrupt_p
         self.rng = rng if (drop_p or corrupt_p) else None
 
-    def process(self, data: bytes) -> Optional[bytes]:
-        """Pass ``data`` through the faulty segment.
+    def judge(self, data: bytes) -> Tuple[str, Optional[bytes]]:
+        """Pass ``data`` through the faulty segment, naming the outcome.
 
-        Returns None when the frame is lost (outage or Bernoulli drop),
-        the corrupted bytes when a bit flips, or ``data`` unchanged.
+        Returns ``(outcome, payload)`` where ``outcome`` is ``"ok"``
+        (payload unchanged), ``"corrupt"`` (payload with a flipped bit),
+        ``"drop"`` (Bernoulli loss, payload None), or ``"down"`` (outage,
+        payload None).  The link layer keys its NACK/repair model off the
+        outcome; :meth:`process` collapses it back to bytes-or-None.
         """
         self.offered.add()
         if self.down:
             self.down_drops.add()
-            return None
+            return "down", None
         rng = self.rng
         if rng is not None:
             if rng.random() < self.drop_p:
                 self.loss_drops.add()
-                return None
+                return "drop", None
             if self.corrupt_p and rng.random() < self.corrupt_p:
                 bit = rng.randint(0, len(data) * 8 - 1)
                 corrupted = bytearray(data)
                 corrupted[bit >> 3] ^= 1 << (bit & 7)
                 self.corruptions.add()
                 self.forwarded.add()
-                return bytes(corrupted)
+                return "corrupt", bytes(corrupted)
         self.forwarded.add()
-        return data
+        return "ok", data
+
+    def process(self, data: bytes) -> Optional[bytes]:
+        """Pass ``data`` through the faulty segment.
+
+        Returns None when the frame is lost (outage or Bernoulli drop),
+        the corrupted bytes when a bit flips, or ``data`` unchanged.
+        """
+        return self.judge(data)[1]
 
     def stats(self) -> Dict[str, int]:
-        return {
+        out = {
             "offered": self.offered.value,
             "forwarded": self.forwarded.value,
             "loss_drops": self.loss_drops.value,
             "corruptions": self.corruptions.value,
             "down_drops": self.down_drops.value,
         }
+        if self.linklayer is not None:
+            out["linklayer"] = self.linklayer.stats()
+        return out
+
+
+def arm_linklayer(faults: LinkFaults, nic, propagation_ps: int,
+                  params: dict) -> None:
+    """Attach a :class:`~repro.reliability.linklayer.LinkLayer` to one
+    transmit direction (the WIRE_LINKLAYER arming path).
+
+    ``nic`` is the *transmitting* NIC: its tracer (when telemetry is on)
+    records the ``ll_*`` repair instants on a flow context of its own,
+    exactly like the host transport's ``rel_*`` instants.  Re-arming
+    replaces the previous link layer (fresh counters and hold buffer).
+    """
+    from repro.reliability.linklayer import LinkLayer
+
+    tracer = ctx = None
+    telemetry = getattr(nic, "telemetry", None)
+    if telemetry is not None:
+        tracer = telemetry.tracer
+        ctx = tracer.flow_ctx()
+    faults.linklayer = LinkLayer(
+        faults, propagation_ps, tracer=tracer, trace_ctx=ctx, **params
+    )
 
 
 def _trace_wire_drop(nic, packet: Packet, label: str, now: int,
@@ -198,6 +237,12 @@ class Wire(Component):
         self.faults["a"].down = down
         self.faults["b"].down = down
 
+    def set_linklayer(self, end: str, params: dict) -> None:
+        """Arm sub-RTT link-local repair on the direction transmitting
+        at ``end`` (the ``WIRE_LINKLAYER`` fault kind)."""
+        nic = self.nic_a if end == "a" else self.nic_b
+        arm_linklayer(self.faults[end], nic, self.propagation_ps, params)
+
     def wire_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-direction fault accounting, keyed by the fault label."""
         return {f.label: f.stats() for f in self.faults.values()}
@@ -220,14 +265,21 @@ class Wire(Component):
 
     def _transfer(self, packet: Packet, faults: LinkFaults, src_nic,
                   dst_nic, dst_port: int) -> None:
-        data = faults.process(packet.data)
+        linklayer = faults.linklayer
+        if linklayer is None:
+            data = faults.process(packet.data)
+            handoff_ps = self.now + self.propagation_ps
+        else:
+            carried = linklayer.transmit(packet.data, self.now)
+            data, handoff_ps = carried if carried is not None else (None, 0)
         if data is None:
-            _trace_wire_drop(src_nic, packet, faults.label, self.now,
-                             "down" if faults.down else "loss")
+            reason = ("down" if faults.down
+                      else "ll_gave_up" if linklayer is not None else "loss")
+            _trace_wire_drop(src_nic, packet, faults.label, self.now, reason)
             return
         meta = packet.meta
-        self.schedule(
-            self.propagation_ps, self._deliver, dst_nic, dst_port,
+        self.sim.schedule_at(
+            handoff_ps, self._deliver, dst_nic, dst_port,
             _refresh_packet(
                 data,
                 packet.kind,
@@ -324,6 +376,18 @@ class ShardBoundary(Component):
         """
         self.faults.down = down
 
+    def set_linklayer(self, params: dict) -> None:
+        """Arm link-local repair on the locally-transmitting direction.
+
+        The repair trajectory is computed entirely at TX time (see
+        :mod:`repro.reliability.linklayer`), so the capsule simply ships
+        with the post-repair handoff timestamp -- the peer shard needs
+        no protocol state at all, and conservative windows stay safe
+        because repair only ever *adds* delay beyond the propagation
+        lookahead.
+        """
+        arm_linklayer(self.faults, self.nic, self.propagation_ps, params)
+
     def wire_stats(self) -> Dict[str, Dict[str, int]]:
         return {self.faults.label: self.faults.stats()}
 
@@ -332,17 +396,25 @@ class ShardBoundary(Component):
     def _capture(self, packet: Packet) -> None:
         if (packet.meta.egress_port or 0) != self.port:
             return
-        data = self.faults.process(packet.data)
+        linklayer = self.faults.linklayer
+        if linklayer is None:
+            data = self.faults.process(packet.data)
+            handoff_ps = self.now + self.propagation_ps
+        else:
+            carried = linklayer.transmit(packet.data, self.now)
+            data, handoff_ps = carried if carried is not None else (None, 0)
         if data is None:
+            reason = ("down" if self.faults.down
+                      else "ll_gave_up" if linklayer is not None else "loss")
             _trace_wire_drop(self.nic, packet, self.faults.label, self.now,
-                             "down" if self.faults.down else "loss")
+                             reason)
             return
         meta = packet.meta
         self._outbox.append(PacketCapsule(
             data=data,
             kind=packet.kind.value,
             created_ps=self.now,
-            arrival_ps=self.now + self.propagation_ps,
+            arrival_ps=handoff_ps,
             link_seq=self._tx_seq,
             tenant=meta.tenant,
             request_ctx=meta.annotations.get("request_ctx"),

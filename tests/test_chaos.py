@@ -12,11 +12,14 @@ something.
 
 from types import SimpleNamespace
 
+import pytest
+
 from repro.reliability.chaos import (
     _check_case,
     generate_chaos_plan,
     run_chaos,
     run_chaos_case,
+    split_config,
 )
 
 
@@ -53,12 +56,65 @@ class TestInvariants:
     def test_case_report_shape(self):
         case = run_chaos_case(4, frames=10, check_replay=False)
         assert case["seed"] == 4
+        assert case["config"] == "gbn"
         assert set(case["invariants"]) == {
             "no_committed_loss", "no_duplicates", "accounting",
             "mono_eq_sharded", "replay_deterministic",
         }
         assert 0.0 <= case["goodput"] <= 1.0
         assert case["sent"] == 3 * 10  # three fanin senders
+        assert set(case["linklayer"]) == {
+            "protected", "nacks", "retransmits", "repaired",
+            "gave_up", "bypassed",
+        }
+        assert case["fct_mean_ps"] <= case["fct_max_ps"]
+
+
+class TestTransportConfigs:
+    def test_split_config_vocabulary(self):
+        assert split_config("gbn") == ("gbn", False)
+        assert split_config("sr") == ("sr", False)
+        assert split_config("gbn+ll") == ("gbn", True)
+        with pytest.raises(ValueError, match="config"):
+            split_config("tcp")
+        with pytest.raises(ValueError, match="config"):
+            split_config("gbn+turbo")
+
+    def test_each_seed_runs_under_every_config(self):
+        report = run_chaos([3], frames=10, check_replay=False,
+                           configs=("gbn", "sr", "gbn+ll"))
+        assert [c["config"] for c in report["cases"]] == \
+            ["gbn", "sr", "gbn+ll"]
+        assert set(report["by_config"]) == {"gbn", "sr", "gbn+ll"}
+        for summary in report["by_config"].values():
+            assert summary["passed"]
+        assert report["params"]["configs"] == ["gbn", "sr", "gbn+ll"]
+
+    def test_link_local_config_arms_every_wire(self):
+        plan = generate_chaos_plan(3, 4, link_local=True)
+        armed = [line for line in plan.describe().splitlines()
+                 if "wire_linklayer" in line]
+        assert len(armed) == 6  # all-pairs cabling of a 4-NIC rack
+        # The fault mix itself is untouched: same weather, new armour.
+        base = generate_chaos_plan(3, 4).describe()
+        stripped = "\n".join(
+            line for line in plan.describe().splitlines()
+            if "wire_linklayer" not in line and "fault plan" not in line
+        )
+        assert stripped == "\n".join(base.splitlines()[1:])
+
+    def test_goodput_floor_breach_is_surfaced_not_passed_over(self):
+        # An impossible floor (1.01) must flag every link-local case
+        # without flipping the invariant verdict.
+        report = run_chaos([0], frames=10, check_replay=False,
+                           configs=("gbn+ll",), goodput_floor=1.01)
+        assert report["passed"]  # invariants are independent of floors
+        assert not report["floor_ok"]
+        assert report["floor_failures"][0]["config"] == "gbn+ll"
+        # And the floor never applies to configs without link-local.
+        report = run_chaos([0], frames=10, check_replay=False,
+                           configs=("gbn",), goodput_floor=1.01)
+        assert report["floor_ok"]
 
 
 def _result(reports):

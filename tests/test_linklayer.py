@@ -1,0 +1,224 @@
+"""Link-local loss recovery: repair protocol, hold buffer, determinism.
+
+Unit tests script the fault outcomes directly so every repair-path
+branch (NACK + retransmit, give-up, outage, bypass, in-order handoff)
+is pinned; end-to-end tests arm real wires via
+``FaultPlan.link_local`` and hold the headline claim: with sub-RTT wire
+repair, the host transport's retransmission machinery goes quiet.
+"""
+
+from repro.faults.plan import FaultPlan
+from repro.faults.rack import wire_target
+from repro.reliability.linklayer import LinkLayer
+from repro.reliability.rack import reliable_rack_topology
+from repro.sim.clock import NS, US
+from repro.sim.shard import run_monolithic, run_sharded
+from repro.telemetry import TelemetryConfig
+
+PROP = 500 * NS
+
+
+class ScriptedFaults:
+    """A LinkFaults stand-in replaying a scripted outcome sequence."""
+
+    def __init__(self, outcomes):
+        self.label = "wire0.test"
+        self.outcomes = list(outcomes)
+        self.process_calls = 0
+
+    def judge(self, data):
+        outcome = self.outcomes.pop(0)
+        return outcome, (data if outcome == "ok" else None)
+
+    def process(self, data):
+        self.process_calls += 1
+        return self.judge(data)[1]
+
+
+def _layer(outcomes, **kw):
+    return LinkLayer(ScriptedFaults(outcomes), PROP, **kw)
+
+
+class TestRepairPath:
+    def test_clean_frame_crosses_at_propagation(self):
+        ll = _layer(["ok"])
+        assert ll.transmit(b"f", 0) == (b"f", PROP)
+        stats = ll.stats()
+        assert stats["protected"] == 1
+        assert stats["nacks"] == stats["retransmits"] == 0
+
+    def test_drop_is_nacked_and_retransmitted(self):
+        ll = _layer(["drop", "ok"], detect_ps=1000 * NS,
+                    turnaround_ps=50 * NS)
+        out = ll.transmit(b"f", 0)
+        assert out is not None
+        data, handoff = out
+        assert data == b"f"
+        # Retransmission leaves after the receiver's gap timer fired and
+        # the NACK crossed back: 2 x prop + detect + turnaround later.
+        assert handoff == 2 * PROP + 1000 * NS + 50 * NS + PROP
+        stats = ll.stats()
+        assert stats["nacks"] == stats["retransmits"] == 1
+        assert stats["repaired"] == 1
+
+    def test_corruption_repairs_faster_than_drop(self):
+        # CRC detection is immediate; only the NACK round trip is paid.
+        corrupt = _layer(["corrupt", "ok"]).transmit(b"f", 0)[1]
+        drop = _layer(["drop", "ok"]).transmit(b"f", 0)[1]
+        assert corrupt < drop
+
+    def test_repair_budget_exhaustion_gives_up(self):
+        ll = _layer(["drop"] * 3, max_repair=2)
+        assert ll.transmit(b"f", 0) is None
+        stats = ll.stats()
+        assert stats["gave_up"] == 1
+        assert stats["retransmits"] == 2  # budget, not attempts
+        assert stats["repaired"] == 0
+
+    def test_outage_is_not_repaired(self):
+        ll = _layer(["down"])
+        assert ll.transmit(b"f", 0) is None
+        stats = ll.stats()
+        assert stats["nacks"] == 0 and stats["gave_up"] == 0
+
+    def test_in_order_handoff_holds_later_clean_frames(self):
+        ll = _layer(["drop", "ok", "ok"])
+        _data, repaired_handoff = ll.transmit(b"a", 0)
+        # A clean frame sent just after must not overtake the repair.
+        _data, clean_handoff = ll.transmit(b"b", 10 * NS)
+        assert clean_handoff == repaired_handoff
+        assert ll.stats()["handoff_held"] == 1
+
+    def test_hold_buffer_full_bypasses_protection(self):
+        ll = _layer(["ok", "ok"], hold_frames=1)
+        ll.transmit(b"a", 0)  # occupies the only slot until its ACK
+        out = ll.transmit(b"b", 10 * NS)
+        assert out is not None  # scripted "ok": it survived unprotected
+        stats = ll.stats()
+        assert stats["bypassed"] == 1
+        assert stats["protected"] == 1
+        assert ll.faults.process_calls == 1
+
+    def test_slots_release_after_coalesced_ack(self):
+        ll = _layer(["ok", "ok"], hold_frames=1,
+                    ack_coalesce_ps=500 * NS)
+        _data, handoff = ll.transmit(b"a", 0)
+        release = handoff + PROP + 500 * NS
+        assert ll.transmit(b"b", release) is not None
+        assert ll.stats()["bypassed"] == 0
+
+    def test_occupancy_peak_tracks_inflight_frames(self):
+        ll = _layer(["ok"] * 4, hold_frames=8)
+        for i in range(4):
+            ll.transmit(b"f", i * 10 * NS)
+        assert ll.stats()["occupancy_peak"] == 4
+
+
+def _loss_plan(link_local, nics=4, drop_p=0.01, corrupt_p=0.005, seed=3):
+    plan = FaultPlan(seed=seed)
+    for i in range(nics):
+        for j in range(i + 1, nics):
+            plan.wire_loss(0, wire_target(i, j),
+                           drop_p=drop_p, corrupt_p=corrupt_p)
+            if link_local:
+                plan.link_local(0, wire_target(i, j))
+    return plan
+
+
+class TestEndToEndLinkLocal:
+    def test_link_local_strictly_dominates_gbn_on_retransmits(self):
+        # The ISSUE's acceptance bar: at 1% wire loss, go-back-N with
+        # link-local repair must strictly beat plain go-back-N on host
+        # retransmit count -- losses heal on the wire, below the RTO.
+        retx = {}
+        for link_local in (False, True):
+            result = run_monolithic(
+                reliable_rack_topology(nics=4, pattern="fanin", frames=30),
+                fault_plan=_loss_plan(link_local),
+            )
+            retx[link_local] = sum(
+                r["stats"]["reliability"]["retransmits"]
+                for r in result.reports.values()
+            )
+            if link_local:
+                repaired = sum(
+                    s.get("linklayer", {}).get("repaired", 0)
+                    for s in result.wire_stats.values()
+                )
+                assert repaired > 0
+        assert retx[False] > 0
+        assert retx[True] < retx[False]
+
+    def test_repair_preserves_exactly_once_in_order(self):
+        result = run_monolithic(
+            reliable_rack_topology(nics=3, pattern="fanin", frames=20),
+            fault_plan=_loss_plan(True, nics=3, drop_p=0.05,
+                                  corrupt_p=0.02),
+        )
+        report = result.reports["nic0"]
+        for src in (1, 2):
+            assert [seq for s, seq, _t, _q in report["deliveries"]
+                    if s == src] == list(range(20))
+
+    def test_linklayer_stats_nest_under_wire_stats(self):
+        result = run_monolithic(
+            reliable_rack_topology(nics=2, frames=10),
+            fault_plan=_loss_plan(True, nics=2, drop_p=0.1),
+        )
+        armed = [s for s in result.wire_stats.values() if "linklayer" in s]
+        assert armed, "link_local plan must surface linklayer stats"
+        assert any(s["linklayer"]["repaired"] for s in armed)
+        for stats in armed:
+            block = stats["linklayer"]
+            for key in ("protected", "nacks", "retransmits", "repaired",
+                        "gave_up", "bypassed", "handoff_held",
+                        "occupancy_peak"):
+                assert key in block
+
+    def test_mono_equals_sharded_with_link_local_repair(self):
+        def topo():
+            return reliable_rack_topology(nics=4, pattern="fanin",
+                                          frames=20)
+
+        mono = run_monolithic(
+            topo(), fault_plan=_loss_plan(True, drop_p=0.05))
+        for workers in (2, 3):
+            sharded = run_sharded(
+                topo(), workers=workers,
+                fault_plan=_loss_plan(True, drop_p=0.05))
+            assert mono.reports == sharded.reports
+            assert mono.wire_stats == sharded.wire_stats
+
+    def test_flap_still_aborts_through_link_local(self):
+        # Outages are explicitly not the link layer's job: a cut wire
+        # must still surface DeliveryFailed via the host transport.
+        plan = (_loss_plan(True, nics=3, drop_p=0.0)
+                .wire_down(0, wire_target(0, 1)))
+        result = run_monolithic(
+            reliable_rack_topology(nics=3, pattern="fanin", frames=5),
+            fault_plan=plan,
+        )
+        assert result.reports["nic1"]["failures"]
+
+
+class TestLinkLayerTelemetry:
+    def test_ll_instants_recorded_alongside_rel_instants(self):
+        plan = (FaultPlan(seed=5)
+                .wire_loss(0, wire_target(0, 1),
+                           drop_p=0.15, corrupt_p=0.1)
+                .link_local(0, wire_target(0, 1)))
+        result = run_monolithic(
+            reliable_rack_topology(
+                nics=2, frames=25,
+                telemetry=TelemetryConfig(sample_every=0),
+            ),
+            fault_plan=plan,
+        )
+        kinds = {
+            span[2]
+            for name in result.reports
+            for span in result.reports[name].get("trace", ())
+        }
+        assert "ll_nack" in kinds
+        assert "ll_retransmit" in kinds
+        assert "ll_handoff" in kinds
