@@ -1,8 +1,10 @@
 """Wall-clock perf harness for the simulation kernel fast path.
 
-Runs the canonical workloads (see :mod:`workloads`) twice each -- fast
-path off (the per-hop reference slow path) and on (kernel fast lanes +
-cut-through ExpressFlights) -- and writes ``BENCH_kernel.json``.
+Runs the canonical workloads (see :mod:`workloads`) three times each --
+fast path off (the per-hop reference slow path), fast path on (kernel
+fast lanes + cut-through ExpressFlights), and batched (fast path +
+``PanicConfig.batch_execution``: trajectory/frame trains with
+vectorized per-frame work) -- and writes ``BENCH_kernel.json``.
 
 Metrics per workload
 --------------------
@@ -17,6 +19,9 @@ Metrics per workload
     wall-clock speed metric on a fixed workload, comparable across
     kernels.  ``events_per_sec_raw`` (fast events / fast wall) is also
     recorded.
+``speedup_wall_batched`` / ``events_per_sec_batched``
+    The same two metrics for the batched run (reference event count
+    over the batched wall), plus ``events_per_sec_batched_raw``.
 ``sim_gbps_per_wall_sec``
     Simulated gigabits delivered to host software per wall-clock second
     of fast-path simulation.
@@ -25,14 +30,21 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_kernel_bench.py \
         --out BENCH_kernel.json [--workloads a,b] [--frames N] \
-        [--repeats K] [--floor benchmarks/perf/floor.json]
+        [--repeats K] [--floor benchmarks/perf/floor.json] \
+        [--profile N]
 
-``--floor`` compares each workload's ``events_per_sec`` against a
-checked-in floor and exits non-zero on a regression beyond
-``--tolerance`` (default 0.30, i.e. fail below 70% of the floor).  The
-floor is deliberately conservative (set well under developer-laptop
-numbers) so slow CI runners don't flap; the 30% tolerance then guards
-against order-of-magnitude regressions, not noise.
+``--floor`` compares each workload's ``events_per_sec`` (and, when the
+floor file lists them, ``events_per_sec_batched``) against a checked-in
+floor and exits non-zero on a regression beyond ``--tolerance``
+(default 0.30, i.e. fail below 70% of the floor).  The floor is
+deliberately conservative (set well under developer-laptop numbers) so
+slow CI runners don't flap; the 30% tolerance then guards against
+order-of-magnitude regressions, not noise.
+
+``--profile N`` additionally runs each workload once more (batched)
+under :mod:`cProfile` and embeds the top-``N`` functions by cumulative
+time in the output JSON under ``profiles`` -- the artifact to read when
+chasing where batched wall time goes.
 
 Output follows the versioned ``repro-bench/2`` envelope (see
 :mod:`bench_schema`): full per-workload detail under ``workloads``, and
@@ -52,10 +64,10 @@ from workloads import WORKLOADS
 
 
 def measure(name: str, fast_path: bool, seed: int, frames: Optional[int],
-            repeats: int) -> dict:
+            repeats: int, batch: bool = False) -> dict:
     """Best-of-``repeats`` run of one workload (determinism makes the
     minimum the right statistic: all variance is OS noise)."""
-    kwargs = {"fast_path": fast_path, "seed": seed}
+    kwargs = {"fast_path": fast_path, "seed": seed, "batch": batch}
     if frames is not None:
         kwargs["frames"] = frames
     best = None
@@ -66,26 +78,85 @@ def measure(name: str, fast_path: bool, seed: int, frames: Optional[int],
     return best
 
 
+def _check_identical(name: str, reference: dict, candidate: dict,
+                     label: str) -> None:
+    if (reference["sim_ps"], reference["deliveries"],
+            reference["bits_delivered"]) != (
+            candidate["sim_ps"], candidate["deliveries"],
+            candidate["bits_delivered"]):
+        raise AssertionError(
+            f"{name}: {label} simulated results diverged from the "
+            "reference -- run tests/test_fast_path_equivalence.py / "
+            "tests/test_batched_execution.py"
+        )
+
+
 def bench_workload(name: str, seed: int, frames: Optional[int],
                    repeats: int) -> dict:
     slow = measure(name, False, seed, frames, repeats)
     fast = measure(name, True, seed, frames, repeats)
-    if (slow["sim_ps"], slow["deliveries"], slow["bits_delivered"]) != (
-            fast["sim_ps"], fast["deliveries"], fast["bits_delivered"]):
-        raise AssertionError(
-            f"{name}: fast/slow simulated results diverged -- "
-            "run tests/test_fast_path_equivalence.py"
-        )
+    batched = measure(name, True, seed, frames, repeats, batch=True)
+    _check_identical(name, slow, fast, "fast-path")
+    _check_identical(name, slow, batched, "batched")
     fast_wall = fast["wall_seconds"]
+    batched_wall = batched["wall_seconds"]
     return {
         "seed": seed,
         "fast": fast,
         "slow": slow,
+        "batched": batched,
         "speedup_wall": round(slow["wall_seconds"] / fast_wall, 3),
         "events_per_sec": round(slow["events_fired"] / fast_wall),
         "events_per_sec_raw": round(fast["events_fired"] / fast_wall),
         "sim_gbps_per_wall_sec": round(
             fast["bits_delivered"] / 1e9 / fast_wall, 3),
+        # Batched-lane metrics, normalized the same way: the reference
+        # (slow-path) event count over the batched wall.
+        "speedup_wall_batched": round(
+            slow["wall_seconds"] / batched_wall, 3),
+        "events_per_sec_batched": round(
+            slow["events_fired"] / batched_wall),
+        "events_per_sec_batched_raw": round(
+            batched["events_fired"] / batched_wall),
+    }
+
+
+def profile_workload(name: str, seed: int, frames: Optional[int],
+                     top: int, batch: bool = True) -> dict:
+    """cProfile one batched run; return the top-``top`` rows by
+    cumulative time as JSON-friendly dicts."""
+    import cProfile
+    import pstats
+
+    kwargs = {"fast_path": True, "seed": seed, "batch": batch}
+    if frames is not None:
+        kwargs["frames"] = frames
+    workload = WORKLOADS[name]
+    workload(**kwargs)  # warm parse/verdict memos, match the bench
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload(**kwargs)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:  # (file, line, name) in sort order
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, funcname = func
+        rows.append({
+            "function": f"{filename}:{line}({funcname})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime": round(tt, 6),
+            "cumtime": round(ct, 6),
+        })
+    return {
+        "workload": name,
+        "batch": batch,
+        "top": top,
+        "total_calls": stats.total_calls,
+        "total_tt": round(stats.total_tt, 6),
+        "rows": rows,
     }
 
 
@@ -142,16 +213,18 @@ def check_floor(results: dict, floor_path: str, tolerance: float,
     with open(floor_path) as fh:
         floor = json.load(fh)
     failures = 0
-    for name, bounds in floor.get("events_per_sec", {}).items():
-        if name not in results:
-            continue
-        got = results[name]["events_per_sec"]
-        allowed = bounds * (1.0 - tolerance)
-        status = "ok" if got >= allowed else "REGRESSION"
-        print(f"floor check {name}: {got:,.0f} events/s vs floor "
-              f"{bounds:,.0f} (min allowed {allowed:,.0f}) -> {status}")
-        if got < allowed:
-            failures += 1
+    for metric in ("events_per_sec", "events_per_sec_batched"):
+        for name, bounds in floor.get(metric, {}).items():
+            if name not in results:
+                continue
+            got = results[name][metric]
+            allowed = bounds * (1.0 - tolerance)
+            status = "ok" if got >= allowed else "REGRESSION"
+            print(f"floor check {name} [{metric}]: {got:,.0f} events/s "
+                  f"vs floor {bounds:,.0f} (min allowed {allowed:,.0f}) "
+                  f"-> {status}")
+            if got < allowed:
+                failures += 1
     max_overhead = floor.get("telemetry_overhead_max_frac")
     if telemetry is not None and max_overhead is not None:
         got = telemetry["overhead_frac"]
@@ -176,6 +249,10 @@ def main(argv=None) -> int:
     parser.add_argument("--floor", default=None,
                         help="floor JSON to regress events/sec against")
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument("--profile", type=int, default=0, metavar="N",
+                        help="also cProfile one batched run per workload "
+                             "and embed the top-N functions by cumulative "
+                             "time in the output JSON")
     args = parser.parse_args(argv)
 
     names = (list(WORKLOADS) if args.workloads == "all"
@@ -191,6 +268,8 @@ def main(argv=None) -> int:
         r = results[name]
         print(f"{name}: {r['speedup_wall']}x wall speedup, "
               f"{r['events_per_sec']:,} events/s (normalized), "
+              f"{r['speedup_wall_batched']}x batched "
+              f"({r['events_per_sec_batched']:,} events/s), "
               f"{r['sim_gbps_per_wall_sec']} sim-Gb per wall-second")
 
     telemetry = None
@@ -204,7 +283,9 @@ def main(argv=None) -> int:
         {"workload": name, "metric": metric, "value": results[name][metric]}
         for name in results
         for metric in ("speedup_wall", "events_per_sec",
-                       "events_per_sec_raw", "sim_gbps_per_wall_sec")
+                       "events_per_sec_raw", "sim_gbps_per_wall_sec",
+                       "speedup_wall_batched", "events_per_sec_batched",
+                       "events_per_sec_batched_raw")
     ]
     if telemetry is not None:
         series.append({"workload": "telemetry_idle",
@@ -219,6 +300,12 @@ def main(argv=None) -> int:
     )
     if telemetry is not None:
         payload["telemetry_overhead"] = telemetry
+    if args.profile:
+        payload["profiles"] = {
+            name: profile_workload(name, args.seed, args.frames,
+                                   args.profile)
+            for name in names
+        }
     write_json(args.out, payload)
 
     if args.floor:

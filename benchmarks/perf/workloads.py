@@ -30,6 +30,11 @@ Workloads mirror the repo's canonical scenarios:
     ``benchmarks/test_fault_recovery.py`` -- armed fault injection
     forces the NoC fast path to stand down on the faulted lanes.
 
+Every workload also takes ``batch`` (``PanicConfig.batch_execution``):
+on top of the fast path, the kernel coalesces whole frame trajectories
+and same-chain frame trains into single events (``repro.core.train``),
+again bit-identical to the scalar run.
+
 Each runner returns a dict with ``wall_seconds`` (event-loop time),
 ``events_fired``, ``sim_ps`` (final simulated time), ``bits_delivered``
 (frame bits handed to host software) and ``deliveries``.
@@ -91,13 +96,14 @@ def _count_deliveries(nic: PanicNic) -> Dict[str, int]:
 
 
 def chaining_uncontended(fast_path: bool = True, seed: int = 1,
-                         frames: int = 400, telemetry=None) -> dict:
+                         frames: int = 400, telemetry=None,
+                         batch: bool = False) -> dict:
     """Deep five-engine chain, one packet in flight at a time."""
     sim = Simulator()
     chain = ["checksum", "checksum1", "checksum2", "checksum3", "checksum4"]
     nic = PanicNic(sim, PanicConfig(
         ports=1, offloads=tuple(chain), seed=seed, fast_path=fast_path,
-        telemetry=telemetry,
+        telemetry=telemetry, batch_execution=batch,
     ))
     nic.control.route_dscp(1, chain)
     bits = _count_deliveries(nic)
@@ -109,12 +115,12 @@ def chaining_uncontended(fast_path: bool = True, seed: int = 1,
 
 
 def chaining_contended(fast_path: bool = True, seed: int = 1,
-                       frames: int = 400) -> dict:
+                       frames: int = 400, batch: bool = False) -> dict:
     """Two-offload chain at a tight gap: queues form, cut-through yields."""
     sim = Simulator()
     nic = PanicNic(sim, PanicConfig(
         ports=1, offloads=("regex", "checksum"), seed=seed,
-        fast_path=fast_path,
+        fast_path=fast_path, batch_execution=batch,
         offload_params={"regex": {"patterns": [b"x"],
                                   "cycles_per_byte": 0.5}},
     ))
@@ -127,10 +133,11 @@ def chaining_contended(fast_path: bool = True, seed: int = 1,
 
 
 def isolation(fast_path: bool = True, seed: int = 1,
-              frames: int = 100) -> dict:
+              frames: int = 100, batch: bool = False) -> dict:
     """Slack scheduling under a DMA hog (benchmarks/test_isolation_slack)."""
     sim = Simulator()
-    nic = PanicNic(sim, PanicConfig(ports=1, seed=seed, fast_path=fast_path))
+    nic = PanicNic(sim, PanicConfig(ports=1, seed=seed, fast_path=fast_path,
+                                    batch_execution=batch))
     nic.host.contention_ps = 2 * US
     nic.control.set_tenant_slack(1, 10 * US)
     nic.control.set_tenant_slack(2, 10 * MS)
@@ -146,12 +153,12 @@ def isolation(fast_path: bool = True, seed: int = 1,
 
 
 def fault_recovery(fast_path: bool = True, seed: int = 3,
-                   frames: int = 400) -> dict:
+                   frames: int = 400, batch: bool = False) -> dict:
     """Mid-run engine crash + heartbeat failover (test_fault_recovery)."""
     sim = Simulator()
     nic = PanicNic(sim, PanicConfig(
         ports=1, offloads=("ipsec", "ipsec1", "compression", "kvcache"),
-        seed=seed, fast_path=fast_path,
+        seed=seed, fast_path=fast_path, batch_execution=batch,
     ))
     nic.set_backup("ipsec", "ipsec1")
     nic.control.route_dscp(10, ["ipsec"])

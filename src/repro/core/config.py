@@ -106,6 +106,17 @@ class PanicConfig:
     # repro.noc.placement for optimizers that produce these maps.
     placement: Optional[Dict[str, Tuple[int, int]]] = None
 
+    # Batched execution (repro.core.train): trajectory trains replay a
+    # frame's whole path in one kernel event over quiescent windows, and
+    # frame trains service a backlogged engine's queue as one batch with
+    # vectorized per-frame work.  Same equivalence contract as fast_path
+    # and rmt_memo -- stats, timestamps, deliveries, and RNG draws are
+    # bit-identical with it on or off; trains break up (refuse or hand
+    # off to the scalar machinery) whenever contention, armed faults,
+    # sampled telemetry, or a run()/shard window boundary could observe
+    # an intermediate state.
+    batch_execution: bool = False
+
     # In-sim telemetry (repro.telemetry): per-packet spans + component
     # probes.  None (default) builds no telemetry at all; instrumented
     # paths then pay only a None check.  Observation-only either way --

@@ -114,6 +114,15 @@ class PanicNic:
             from repro.telemetry import Telemetry
 
             self.telemetry = Telemetry(self)
+        #: Batched-execution driver (repro.core.train); None keeps every
+        #: hook on the scalar path at the cost of one attribute check.
+        self.train_lane = None
+        if self.config.batch_execution:
+            from repro.core.train import TrainLane
+
+            self.train_lane = TrainLane(self)
+            for engine in self.engines.values():
+                engine._train_lane = self.train_lane
         #: Host-side reliable transport, when the workload attaches one
         #: (see :mod:`repro.reliability`); surfaces in ``stats()``.
         self.transport = None

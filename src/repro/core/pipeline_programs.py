@@ -359,8 +359,15 @@ def panic_decision_factory(nic):
     engine type.
     """
     from repro.packet.builder import frame_checksums_ok
+    from repro.packet.headers import HeaderError
     from repro.packet.packet import MessageKind
     from repro.packet.panic_hdr import PanicHeader
+
+    # Decoded (and header-validated) chains by wire blob: route tables
+    # emit the same ``meta.chain`` bytes for every frame of a flow, so
+    # decode + validation runs once per distinct blob.  Bounded by
+    # wholesale clearing, like the parse memo.
+    chain_cache: dict = {}
 
     def decide(packet, phv):
         if packet.panic is not None and not packet.panic.exhausted:
@@ -378,28 +385,60 @@ def panic_decision_factory(nic):
             # with accounting instead of steering a mangled frame.
             nic.corrupt_drops.add()
             return []
-        if phv.get_or("meta.drop", 0):
+        # Direct field-store reads: _fields never holds an invalid
+        # sentinel (invalidate() pops), so dict.get with a default is
+        # exactly get_or/is_valid without the method-call tax on this
+        # per-frame path.
+        fields = phv._fields
+        if fields.get("meta.drop", 0):
             nic.rmt_drops.add()
             return []
-        chain = decode_chain(phv.get_or("meta.chain", b""))
+        blob = fields.get("meta.chain", b"")
         deadline = int(
-            phv.get_or("meta.slack_deadline_ps", nic.sim.now + DEFAULT_SLACK_PS)
+            fields.get("meta.slack_deadline_ps",
+                       nic.sim.now + DEFAULT_SLACK_PS)
         )
-        header = PanicHeader(
-            chain=chain,
-            slack_ps=deadline,
-            needs_rmt=bool(phv.get_or("meta.needs_rmt", 0)),
-            droppable=bool(phv.get_or("meta.droppable", 0)),
-        )
+        needs_rmt = bool(fields.get("meta.needs_rmt", 0))
+        droppable = bool(fields.get("meta.droppable", 0))
+        chain = chain_cache.get(blob)
+        if chain is None:
+            # First sighting of this chain blob: the validating
+            # constructor runs (decode errors and chain-length errors
+            # surface exactly as before), then the decoded tuple is
+            # cached for every later frame of the flow.
+            header = PanicHeader(
+                chain=decode_chain(blob),
+                slack_ps=deadline,
+                needs_rmt=needs_rmt,
+                droppable=droppable,
+            )
+            if len(chain_cache) >= 512:
+                chain_cache.clear()
+            chain_cache[blob] = tuple(header.chain)
+        else:
+            # Chain entries were validated at cache-fill; the only
+            # per-frame validation left is the slack sign check.
+            if deadline < 0:
+                raise HeaderError(f"negative slack: {deadline}")
+            header = object.__new__(PanicHeader)
+            header.chain = list(chain)
+            header.cursor = 0
+            header.slack_ps = deadline
+            header.needs_rmt = needs_rmt
+            header.droppable = droppable
         packet.panic = header
-        if phv.is_valid("meta.rx_queue"):
-            packet.meta.annotations["rx_queue"] = int(phv.get("meta.rx_queue"))
-        if phv.is_valid("meta.ipsec_spi"):
-            packet.meta.annotations["ipsec_spi"] = int(phv.get("meta.ipsec_spi"))
-        if phv.is_valid("kv.tenant"):
-            packet.meta.tenant = int(phv.get("kv.tenant"))
-        elif phv.is_valid("meta.tenant"):
-            packet.meta.tenant = int(phv.get("meta.tenant"))
+        annotations = packet.meta.annotations
+        value = fields.get("meta.rx_queue")
+        if value is not None:
+            annotations["rx_queue"] = int(value)
+        value = fields.get("meta.ipsec_spi")
+        if value is not None:
+            annotations["ipsec_spi"] = int(value)
+        value = fields.get("kv.tenant")
+        if value is None:
+            value = fields.get("meta.tenant")
+        if value is not None:
+            packet.meta.tenant = int(value)
         return [(packet, None)]
 
     return decide

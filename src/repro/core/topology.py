@@ -98,12 +98,40 @@ class RackTopology:
     # Shard assignment
     # ------------------------------------------------------------------
 
-    def assign_shards(self, workers: int) -> Dict[str, int]:
-        """Partition NICs into ``workers`` shards.
+    @staticmethod
+    def _event_weight(spec: NicSpec) -> int:
+        """Estimated relative event rate of one NIC.
 
-        Contiguous blocks in declaration order, sizes differing by at
-        most one -- declaration order is the user's locality hint (put
-        chatty NICs next to each other to keep their wire intra-shard).
+        The dominant event cost of a NIC is frames injected times hops
+        per frame, so the hint is ``frames * (1 + chain length)`` read
+        from the builder params (``frames`` plus a ``chain`` or
+        ``offloads`` sequence when present).  NICs without hints weigh
+        the same as each other, so unhinted topologies keep the old
+        equal-size split.
+        """
+        params = spec.params
+        frames = params.get("frames", 1)
+        if not isinstance(frames, int) or frames < 1:
+            frames = 1
+        chain = params.get("chain")
+        if chain is None:
+            chain = params.get("offloads")
+        hops = len(chain) if isinstance(chain, (list, tuple)) else 0
+        return frames * (1 + hops)
+
+    def assign_shards(self, workers: int) -> Dict[str, int]:
+        """Partition NICs into ``workers`` shards, balancing event rate.
+
+        Contiguous blocks in declaration order -- declaration order is
+        the user's locality hint (put chatty NICs next to each other to
+        keep their wire intra-shard).  Block boundaries are chosen to
+        minimize the heaviest shard's estimated event rate (see
+        :meth:`_event_weight`), so one busy NIC is not binned with three
+        idle ones just to equalize counts.  Fully deterministic: the
+        minimal feasible per-shard capacity is found by bisection, then
+        shards fill greedily front-to-back (ties break toward larger
+        early shards, matching the historical equal-size split when all
+        weights agree).
         """
         if workers < 1:
             raise TopologyError(f"need at least one worker, got {workers}")
@@ -112,14 +140,43 @@ class RackTopology:
                 f"{workers} workers for only {len(self.nics)} NICs"
             )
         count = len(self.nics)
-        base, extra = divmod(count, workers)
+        weights = [self._event_weight(spec) for spec in self.nics]
+
+        def blocks_needed(cap: int) -> int:
+            blocks, load = 1, 0
+            for weight in weights:
+                if load and load + weight > cap:
+                    blocks += 1
+                    load = weight
+                else:
+                    load += weight
+            return blocks
+
+        low, high = max(weights), sum(weights)
+        while low < high:
+            mid = (low + high) // 2
+            if blocks_needed(mid) <= workers:
+                high = mid
+            else:
+                low = mid + 1
+        cap = low
+
         assignment: Dict[str, int] = {}
         index = 0
         for shard in range(workers):
-            size = base + (1 if shard < extra else 0)
-            for spec in self.nics[index:index + size]:
-                assignment[spec.name] = shard
-            index += size
+            reserve = workers - shard - 1  # later shards stay non-empty
+            load = 0
+            taken = 0
+            while index < count - reserve:
+                weight = weights[index]
+                if reserve and taken and load + weight > cap:
+                    # The final shard takes every leftover NIC; earlier
+                    # shards close at capacity.
+                    break
+                load += weight
+                assignment[self.nics[index].name] = shard
+                index += 1
+                taken += 1
         return assignment
 
     def cross_links(self, assignment: Dict[str, int]) -> List[LinkSpec]:

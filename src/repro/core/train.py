@@ -1,0 +1,887 @@
+"""Frame trains: batched engine execution over quiescent windows.
+
+The scalar simulator charges every frame roughly 27 kernel events end to
+end: wire arrival, a loopback enqueue, per-engine pop/finish pairs, a NoC
+event per hop, DMA, PCIe, interrupts.  Almost all of that Python work is
+pure dispatch overhead whenever the NIC is *quiescent* -- no other event
+is pending before the frame's next state change, so every intermediate
+timestamp follows arithmetically, exactly like
+:class:`~repro.noc.express.ExpressFlight` collapses an idle NoC route
+into one delivery event.
+
+:class:`TrainLane` generalizes that idea from wires to whole engines.  It
+provides the two train shapes behind ``PanicConfig.batch_execution``:
+
+**Trajectory trains** (:meth:`try_ride`) fire at RX arrival: one kernel
+event carries a single frame across its *entire* trajectory -- MAC
+service, the express hop to the RMT pipeline, classification, every
+chain engine, DMA, and PCIe -- committing the same state mutations the
+scalar path would, at the same simulated timestamps, by shifting the
+kernel clock forward inside the event before each genuine
+``handle``/``decide``/``service_time_ps`` call.
+
+**Frame trains** (:meth:`try_batch`) fire when an idle engine's PIFO
+holds several eligible frames (e.g. the drain after a stall fault
+recovers): one event pops the whole batch
+(:meth:`~repro.sched.pifo.PifoQueue.pop_batch`), computes the per-frame
+service windows arithmetically, and vectorizes the per-frame payload
+work through the engine's ``service_many`` hook
+(:mod:`repro.packet.vectorized`).
+
+Equivalence contract
+--------------------
+
+Trains are *invisible* in simulated terms: stats trees, timestamps,
+delivery order, and RNG draws are bit-identical with batching on or off.
+Three mechanisms enforce it:
+
+* **Quiescence.**  A train only forms when
+  :meth:`~repro.sim.kernel.Simulator.train_horizon` yields a horizon: no
+  same-timestamp FIFO event pending, no after-event hooks (telemetry
+  probes observe every intermediate step, so their presence disables
+  trains entirely), and every mutation timestamp strictly below the next
+  heap event and the current ``run()`` deadline.  The deadline bound is
+  what keeps trains inside a ShardBoundary sync window -- sharded and
+  monolithic runs stay bit-identical at any worker count.
+* **Flush-on-anything.**  Per-hop eligibility checks mirror the express
+  path's idle scan: armed faults, slowdowns, crashed engines, buffered
+  routers, reserved channels, exhausted credits, pointer-mode payloads,
+  CONTROL heartbeats, and sampled (``__trace__``) packets all refuse the
+  train, falling back to the scalar machinery *before any mutation*.
+  Mid-trajectory, the frame instead hands off: the lane reconstructs the
+  exact scalar in-service state (busy lane + pending ``_finish`` event)
+  and lets real events carry on.  A fault armed for time T is a heap
+  event, so the horizon already guarantees no train commits state at or
+  beyond T.
+* **Exact replay.**  Counters, latency trackers, round-robin rotations,
+  PIFO sequence numbers, message ids, and RNG draws are advanced in the
+  same order and by the same amounts as the scalar path.  The hot hop
+  and service recipes inline their scalar counterparts
+  (``PifoQueue.transit``, ``LatencyTracker.observe``,
+  ``NocChannel._account_express_hop``,
+  ``NocRouter._account_express_forward``, ``RateMeter.record``) --
+  each inlined block cites the method it replays; keep them in sync.
+
+The lane's own counters live outside ``PanicNic.stats()`` -- they count
+simulator mechanics, not NIC behaviour, and stats trees must not differ
+between modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engines.base import Engine
+from repro.engines.checksum_engine import ChecksumEngine, _rx_verdict
+from repro.engines.ethernet import EthernetPort
+from repro.engines.rmt_engine import RmtPipelineEngine
+from repro.noc.message import NocMessage, _message_ids
+from repro.noc.router import Router
+from repro.packet.packet import Direction, MessageKind, Packet
+
+__all__ = ["TrainLane"]
+
+#: Cache-miss sentinel (None is a valid cached kind).
+_MISS = object()
+
+#: Heartbeat probes/echoes take dedicated scalar branches in every
+#: engine, so control messages always refuse the train.
+_CONTROL = MessageKind.CONTROL
+
+#: Stock methods the ride may shortcut (identity-checked per leg).
+_CHECKSUM_HANDLE = ChecksumEngine.handle
+_CHECKSUM_SVC = ChecksumEngine.service_time_ps
+_TX = Direction.TX
+_RX = Direction.RX
+_STOCK_RX_ARRIVAL = EthernetPort._rx_arrival
+
+
+class TrainLane:
+    """Per-NIC batched-execution driver (see module docstring)."""
+
+    def __init__(self, nic) -> None:
+        self.nic = nic
+        self.sim = nic.sim
+        self.mesh = nic.mesh
+        # Working horizon of the ride in progress (picoseconds; every
+        # committed mutation timestamp must stay strictly below it).
+        self._h: float = float("-inf")
+        # engine -> "base" | "rmt" | None (method-identity whitelist;
+        # subclasses that override the service loop ride scalar).
+        self._kinds: Dict[int, Optional[str]] = {}
+        self._kind_obj: Dict[int, Engine] = {}
+        self._routers: Dict[int, object] = {}
+        # Stock ChecksumEngine.service_time_ps results, keyed by every
+        # input it reads (engine identity, frame length, cost knobs) so
+        # mid-run knob mutation can never serve a stale delay.
+        self._svc: Dict[tuple, int] = {}
+        # engine -> leg recipe tuple (see _recipe_of).
+        self._recipes: Dict[int, tuple] = {}
+        # Diagnostics (not part of nic.stats(): trees must be identical
+        # with batching on or off).
+        self.trajectories = 0
+        self.trajectory_hops = 0
+        self.handoffs = 0
+        self.refusals = 0
+        self.batches = 0
+        self.batched_frames = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Lane diagnostics (separate from the NIC's stats tree)."""
+        return {
+            "trajectories": self.trajectories,
+            "trajectory_hops": self.trajectory_hops,
+            "handoffs": self.handoffs,
+            "refusals": self.refusals,
+            "batches": self.batches,
+            "batched_frames": self.batched_frames,
+        }
+
+    # ------------------------------------------------------------------
+    # Engine classification
+    # ------------------------------------------------------------------
+
+    def _kind_of(self, engine: Engine) -> Optional[str]:
+        """``"base"``/``"rmt"`` when the engine's service loop is the
+        stock one the lane knows how to replay, else None.
+
+        Identity checks on the unbound methods: an engine subclass that
+        overrides any part of the receive/service/route machinery gets
+        scalar execution -- ``handle``/``service_time_ps``/``decide``
+        overrides are fine (the lane calls them genuinely)."""
+        key = id(engine)
+        cached = self._kinds.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        cls = type(engine)
+        kind: Optional[str] = None
+        if isinstance(engine, RmtPipelineEngine):
+            if (cls._try_start is RmtPipelineEngine._try_start
+                    and cls._finish_rmt is RmtPipelineEngine._finish_rmt
+                    and cls.receive is Engine.receive
+                    and cls.try_receive is Engine.try_receive
+                    and cls._rank_of is Engine._rank_of
+                    and cls._route_by_chain is Engine._route_by_chain):
+                kind = "rmt"
+        elif (cls._try_start is Engine._try_start
+                and cls._finish is Engine._finish
+                and cls.receive is Engine.receive
+                and cls.try_receive is Engine.try_receive
+                and cls._rank_of is Engine._rank_of
+                and cls._route_by_chain is Engine._route_by_chain
+                and cls._loopback is Engine._loopback):
+            kind = "base"
+        self._kinds[key] = kind
+        self._kind_obj[key] = engine  # keep ids stable while cached
+        return kind
+
+    def _router_of(self, engine: Engine):
+        """The engine's local tile router (its inject channel's sink),
+        or False when the engine's space wiring is not the stock
+        ``notify_space = router.pump`` (the ride inlines that pump as a
+        single fairness rotation, so anything else must ride scalar)."""
+        key = id(engine)
+        router = self._routers.get(key)
+        if router is None:
+            router = self.mesh._channel_sink[engine.port._channel]
+            notify = engine.notify_space
+            cls = type(router)
+            if (notify is None
+                    or getattr(notify, "__func__", None) is not Router.pump
+                    or notify.__self__ is not router
+                    or cls.pump is not Router.pump
+                    or cls._pump_once is not Router._pump_once):
+                router = False
+            self._routers[key] = router
+        return router
+
+    def _engine_ready(self, engine: Engine, packet: Packet) -> bool:
+        """Would the scalar path serve ``packet`` at ``engine``
+        immediately, with no interference the lane cannot replay?
+
+        Reference predicate; the hot paths (:meth:`try_ride`,
+        :meth:`_try_hop`) inline these exact checks."""
+        if self._kind_of(engine) is None:
+            return False
+        if (engine.fault_mode is not None
+                or engine.slowdown != 1.0
+                or engine.payload_buffer is not None
+                or engine._busy_lanes
+                or not engine.queue.is_empty):
+            return False
+        if packet.kind is _CONTROL:
+            return False
+        router = self._router_of(engine)
+        if router is False or router._buffered or router._express_flights:
+            # Parked (refused) messages have no heap event to bound the
+            # horizon, and reserved flights must de-speculate against
+            # genuine deliveries only.
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Trajectory trains (single frame, whole path)
+    # ------------------------------------------------------------------
+
+    def try_ride(self, port, packet: Packet) -> bool:
+        """Carry a fresh RX frame down its whole trajectory in one event.
+
+        Called by :meth:`EthernetPort._rx_arrival` in place of its final
+        ``_loopback``.  Returns False (mutating nothing) when the ride
+        cannot start; the caller then falls back to the scalar loopback.
+        """
+        sim = self.sim
+        horizon = sim.train_horizon()
+        if horizon is None:
+            self.refusals += 1
+            return False
+        if "__trace__" in packet.meta.annotations:
+            # Sampled telemetry must observe every intermediate span.
+            self.refusals += 1
+            return False
+        # Inlined _engine_ready(port, packet).
+        key = id(port)
+        kind = self._kinds.get(key, _MISS)
+        if kind is _MISS:
+            kind = self._kind_of(port)
+        if (kind is None
+                or port.fault_mode is not None
+                or port.slowdown != 1.0
+                or port.payload_buffer is not None
+                or port._busy_lanes
+                or port.queue._heap
+                or packet.kind is _CONTROL):
+            self.refusals += 1
+            return False
+        router = self._routers.get(key)
+        if router is None:
+            router = self._router_of(port)
+        if router is False or router._buffered or router._express_flights:
+            self.refusals += 1
+            return False
+        self._h = horizon
+        # Engine._loopback: the local re-entry envelope.  Drawing the
+        # message id here (first action, as scalar does) keeps the
+        # global id sequence aligned; the envelope itself materializes
+        # only if the ride hands off mid-service.
+        mid = next(_message_ids)
+        self.trajectories += 1
+        addr = port.address
+        now = sim.now
+        self._ride(port, kind, router, packet, now, mid, addr, addr, now, 0)
+        return True
+
+    def deferred_wire_ride(self, port, packet: Packet, t_arr: int,
+                           event) -> None:
+        """Try to absorb an un-enqueued wire-arrival event as a train.
+
+        :meth:`EthernetPort.inject_rx` allocates the per-frame
+        ``_rx_arrival`` event (reserving its sequence number, hence
+        every same-timestamp tie) without enqueuing it, and defers this
+        attempt via :meth:`Simulator.defer`.  The kernel runs it only
+        after the *injecting* event's callback has fully returned, when
+        the event schedule is sealed: anything that callback scheduled
+        after the inject call is now pending and bounds the horizon,
+        which an inline ride at inject time could never see.  On success
+        the event is simply dropped; on refusal it is committed and
+        fires exactly as if scheduled at inject time (getting its own
+        :meth:`try_ride` chance at arrival time).
+        """
+        sim = self.sim
+        if sim._deferred:
+            # Another slot is queued behind this one (several injections
+            # in one callback): its own un-enqueued arrival is invisible
+            # to the horizon, so only the last slot of a drain may ride.
+            self.refusals += 1
+            sim.commit_event(event)
+            return
+        horizon = sim.train_horizon()
+        if horizon is None or t_arr >= horizon:
+            self.refusals += 1
+            sim.commit_event(event)
+            return
+        if not self.try_wire_ride(port, packet, t_arr, horizon):
+            sim.commit_event(event)
+
+    def try_wire_ride(self, port, packet: Packet, t_arr: int,
+                      horizon: float) -> bool:
+        """Absorb the wire-arrival event and ride from its inject event.
+
+        ``horizon`` is the first instant the ride may *not* touch,
+        computed by :meth:`deferred_wire_ride` with the frame's own
+        pending arrival event excluded; the caller has already checked
+        ``t_arr < horizon``.  When the port would serve the frame
+        immediately, the arrival bookkeeping and the whole trajectory
+        replay inside this (deferred) slot of the injecting event.
+        Returns False (mutating nothing) when ineligible.
+        """
+        sim = self.sim
+        meta = packet.meta
+        if "__trace__" in meta.annotations:
+            # Sampled telemetry must observe every intermediate span.
+            self.refusals += 1
+            return False
+        # The arrival body below is a replay of the stock _rx_arrival;
+        # an override must run scalar.
+        if type(port)._rx_arrival is not _STOCK_RX_ARRIVAL:
+            self.refusals += 1
+            return False
+        # Inlined _engine_ready(port, packet), as in try_ride.
+        key = id(port)
+        kind = self._kinds.get(key, _MISS)
+        if kind is _MISS:
+            kind = self._kind_of(port)
+        if (kind is None
+                or port.fault_mode is not None
+                or port.slowdown != 1.0
+                or port.payload_buffer is not None
+                or port._busy_lanes
+                or port.queue._heap
+                or packet.kind is _CONTROL):
+            self.refusals += 1
+            return False
+        router = self._routers.get(key)
+        if router is None:
+            router = self._router_of(port)
+        if router is False or router._buffered or router._express_flights:
+            self.refusals += 1
+            return False
+        self._h = horizon
+        # EthernetPort._rx_arrival at the arrival instant (its
+        # payload_buffer branch is unreachable: the readiness check
+        # above required payload_buffer is None).
+        sim.now = t_arr
+        meta.ingress_port = port.port_index
+        meta.direction = _RX
+        meta.nic_arrival_ps = t_arr
+        meta.annotations["mac_rx"] = True
+        port.rx_frames.add()
+        port.rx_bits.record(t_arr, packet.wire_bits)
+        mid = next(_message_ids)
+        self.trajectories += 1
+        addr = port.address
+        self._ride(port, kind, router, packet, t_arr, mid, addr, addr,
+                   t_arr, 0)
+        return True
+
+    def _ride(self, engine: Engine, kind: str, erouter, packet: Packet,
+              t_arr: int, mid: int, src: int, dest: int,
+              inject_ps: int, hops: int) -> None:
+        """Replay the whole remaining trajectory, one leg per loop pass.
+
+        Each pass serves ``packet`` at an idle ``engine`` -- mirroring
+        ``Engine.receive`` + ``Engine._try_start`` + ``Engine._finish``
+        (base) or the ``RmtPipelineEngine`` pair (rmt) -- then attempts
+        to commit the next NoC traversal arithmetically (mirroring
+        ``Mesh._try_express`` + ``ExpressFlight._finish`` and the final
+        router's delivery pump) and continues at the target.  Any leg
+        that cannot continue executes the *exact* scalar statement at
+        the already-advanced clock and ends the ride; every event it
+        schedules lies at or after ``now``, so the kernel resumes
+        cleanly.
+
+        Pre-conditions, re-established before each pass: the inlined
+        ``_engine_ready`` held for ``engine`` (whose local router is
+        ``erouter``) and ``now <= t_arr < self._h``.  The
+        ``mid``/``src``/``dest``/``inject_ps``/``hops`` quintuple
+        describes the in-flight envelope, materialized as a real
+        :class:`NocMessage` only on a mid-service handoff.
+        """
+        sim = self.sim
+        kinds = self._kinds
+        routers = self._routers
+        recipes = self._recipes
+        svc = self._svc
+        h = self._h
+        ann = packet.meta.annotations
+        trail = None
+        ekey = id(engine)
+        while True:
+            # One dict hit replaces the leg's ~20 attribute chains; the
+            # recipe holds only structurally-final objects (built in the
+            # engine's __init__, never reassigned -- see _recipe_of).
+            rec = recipes.get(ekey)
+            if rec is None:
+                rec = self._recipe_of(engine, kind)
+            (queue, qseq, qpushed, qlat, slat, processed, name,
+             csum_handle, csum_svc, address, lookup_table, lookup_ps,
+             inj, expr_cache, ser_cache, injected, meter, ii_ps,
+             lat_ps) = rec
+            sim.now = t_arr  # monotonic: t_arr >= now on entry
+            # receive(): enqueue_ps is stamped then immediately popped
+            # by the service start; net effect on annotations is
+            # removal.  The rank (_rank_of) is drawn from pure reads
+            # and never outlives the fused push/pop.
+            ann.pop("enqueue_ps", None)
+            # PifoQueue.transit inline: the push's seq draw + counters.
+            next(qseq)
+            qpushed.value += 1
+            if queue.max_occupancy < 1:
+                queue.max_occupancy = 1
+            # queue_latency.observe(t_arr, t_arr) inline: a zero sample.
+            qlat._samples.append(0)
+            qlat._sorted = False
+            if kind == "rmt":
+                # RmtPipelineEngine._try_start (no notify_space there).
+                start = engine._next_accept_ps
+                if start < t_arr:
+                    start = t_arr
+                engine._next_accept_ps = start + ii_ps
+                t_fin = start + lat_ps
+                if t_fin >= h:
+                    sim.schedule_at(
+                        t_fin, engine._finish_rmt,
+                        NocMessage(packet, dest, src, inject_ps, hops, mid),
+                        start)
+                    self.handoffs += 1
+                    return
+                # RmtPipelineEngine._finish_rmt at t_fin.
+                sim.now = t_fin
+                processed.value += 1
+                # pps_meter.record(t_fin) inline.
+                meter.total += 1.0
+                meter.last_ps = t_fin
+                slat._samples.append(t_fin - start)
+                slat._total += t_fin - start
+                slat._sorted = False
+                # packet.touch(name) inline; the cached trail list is
+                # dropped after every genuine handle()/decide() call and
+                # on packet replacement, so it can never go stale.
+                if trail is None:
+                    trail = ann.get("trail")
+                    if trail is None:
+                        ann["trail"] = trail = []
+                trail.append(name)
+                seq = sim._seq
+                phv = engine.pipeline.process(
+                    packet.data,
+                    metadata=engine._intrinsic_metadata(packet),
+                    now_ps=t_fin,
+                )
+                engine.decisions.value += 1
+                outputs = engine.decide(packet, phv)
+                trail = None
+                rmt = True
+                if sim._seq != seq or sim._after_hooks:
+                    # decide() scheduled events: they may lie below the
+                    # old horizon and shrink what the ride may touch.
+                    horizon = sim.train_horizon()
+                    h = float("-inf") if horizon is None else horizon
+                    self._h = h
+                if len(outputs) != 1:
+                    self._route_multi(engine, outputs, rmt)
+                    return
+                out_packet, ndest = outputs[0]
+            else:
+                # Engine._try_start: freed_space -> one notify_space().
+                # That is erouter.pump (validated by _router_of) on a
+                # router known buffer-free: a single fairness rotation.
+                rr = erouter._rr_order
+                if rr:
+                    rr.append(rr.pop(0))
+                if csum_svc:
+                    # Stock ChecksumEngine.service_time_ps: pure in its
+                    # memo key, so a hit replaces the call.
+                    skey = (ekey, len(packet.data),
+                            engine.fixed_cycles, engine.cycles_per_byte)
+                    delay = svc.get(skey)
+                    if delay is None:
+                        delay = engine.service_time_ps(packet)
+                        if len(svc) >= 1024:
+                            svc.clear()
+                        svc[skey] = delay
+                else:
+                    delay = engine.service_time_ps(packet)
+                # slowdown == 1.0 and payload_buffer is None by
+                # eligibility, so the scalar path's remaining delay
+                # adjustments are identity.
+                t_fin = t_arr + delay
+                if t_fin >= h:
+                    # Hand off mid-service: exactly the state _try_start
+                    # leaves behind -- a busy lane + a pending _finish.
+                    engine._busy_lanes += 1
+                    sim.schedule_at(
+                        t_fin, engine._finish,
+                        NocMessage(packet, dest, src, inject_ps, hops, mid),
+                        t_arr)
+                    self.handoffs += 1
+                    return
+                if delay < 0:
+                    # Scalar schedule() would refuse; never move the
+                    # clock backwards.
+                    raise ValueError(
+                        f"{name}: negative service time {delay}")
+                # Engine._finish at t_fin.
+                sim.now = t_fin
+                processed.value += 1
+                slat._samples.append(delay)
+                slat._total += delay
+                slat._sorted = False
+                if trail is None:
+                    trail = ann.get("trail")
+                    if trail is None:
+                        ann["trail"] = trail = []
+                trail.append(name)
+                rmt = False
+                if csum_handle and packet.meta.direction is not _TX:
+                    # ChecksumEngine.handle RX inline (stock by
+                    # identity): _verify's memoized verdict, annotation
+                    # and counter -- schedules nothing, single
+                    # pass-through output, so the refresh and unpack
+                    # below are skipped outright.
+                    ok = _rx_verdict(packet.data)
+                    if ok is not None:
+                        ann["csum_ok"] = ok
+                        if ok:
+                            engine.verified.value += 1
+                        else:
+                            engine.bad_checksums.value += 1
+                    out_packet = packet
+                    ndest = None
+                else:
+                    seq = sim._seq
+                    outputs = engine.handle(packet)
+                    trail = None
+                    if sim._seq != seq or sim._after_hooks:
+                        # handle() scheduled events (TX wire, timers):
+                        # they may lie below the old horizon and shrink
+                        # what the ride may touch.
+                        horizon = sim.train_horizon()
+                        h = float("-inf") if horizon is None else horizon
+                        self._h = h
+                    if len(outputs) != 1:
+                        self._route_multi(engine, outputs, rmt)
+                        return
+                    out_packet, ndest = outputs[0]
+            # The routing step of _finish/_finish_rmt.
+            lookup_delay = 0
+            if ndest is None:
+                # Engine._route_by_chain inline (stock by whitelist):
+                # next chain hop, else the lookup table.
+                header = out_packet.panic
+                if header is not None and header.cursor < len(header.chain):
+                    ndest = header.chain[header.cursor]
+                    header.cursor += 1
+                else:
+                    ndest = lookup_table.lookup(out_packet.kind)
+                if not rmt:
+                    lookup_delay = lookup_ps
+            if ndest is None:
+                engine.terminal(out_packet)
+                return
+            if ndest == address:
+                if rmt:
+                    engine._loopback(out_packet)
+                else:
+                    engine.schedule(lookup_delay, engine._loopback,
+                                    out_packet)
+                return
+            # -- Attempt the next traversal: Mesh._try_express's idle
+            # scan over the cached express path.  Any failed check falls
+            # back to the scalar send (mutating nothing first).
+            t_send = t_fin + lookup_delay
+            if out_packet is not packet:
+                packet = out_packet
+                ann = packet.meta.annotations
+                trail = None
+            if t_send >= h or "__trace__" in ann:
+                break
+            path = expr_cache.get(ndest, _MISS)
+            if path is _MISS:
+                path = self.mesh._build_express_path(inj, ndest)
+                expr_cache[ndest] = path
+            if path is None or (
+                    inj._transfer_in_progress or inj._pending
+                    or inj._express_flight is not None
+                    or inj._fault_drops or inj._fault_corruptions
+                    or inj._credits <= 0):
+                break
+            channels, mid_routers, final_router, checks = path
+            busy = False
+            for router, out in checks:
+                if (router._buffered
+                        or out._express_flight is not None
+                        or out._transfer_in_progress
+                        or out._pending
+                        or out._credits <= 0
+                        or out._fault_drops
+                        or out._fault_corruptions):
+                    busy = True
+                    break
+            if (busy or final_router._buffered
+                    or final_router._express_flights):
+                break
+            target = final_router.endpoint
+            if target is None:
+                break
+            # Inlined _engine_ready(target, packet).
+            key = id(target)
+            tkind = kinds.get(key, _MISS)
+            if tkind is _MISS:
+                tkind = self._kind_of(target)
+            if (tkind is None
+                    or target.fault_mode is not None
+                    or target.slowdown != 1.0
+                    or target.payload_buffer is not None
+                    or target._busy_lanes
+                    or target.queue._heap
+                    or packet.kind is _CONTROL):
+                break
+            trouter = routers.get(key)
+            if trouter is None:
+                trouter = self._router_of(target)
+            if (trouter is False or trouter._buffered
+                    or trouter._express_flights):
+                break
+            # packet.chip_bits inline (pointer-mode noc_bits override is
+            # impossible here -- payload_buffer engines refuse rides --
+            # but honour it anyway to stay a faithful copy).
+            override = ann.get("noc_bits")
+            if override is not None:
+                bits = int(override)
+            else:
+                header = packet.panic
+                extra = header.length if header is not None else 0
+                bits = (len(packet.data) + extra) * 8
+            ser = ser_cache.get(bits)
+            if ser is None:
+                ser = inj._serialization_ps(bits)
+            n_hops = len(channels)
+            t_arrive = t_send + n_hops * ser
+            if t_arrive >= h:
+                break
+            # -- Commit.  NocPort.send at t_send: the message-id draw,
+            # then the injected count.
+            sim.now = t_send  # t_send = now + lookup_delay
+            mid = next(_message_ids)
+            injected.value += 1
+            # ExpressFlight._finish: arithmetic hop windows.  Per
+            # channel, _account_express_hop(bits, begin, begin + ser)
+            # inline; the credit debit and return cancel.
+            end = t_send
+            for channel in channels:
+                end += ser
+                channel.sent.value += 1
+                channel.bits_sent.value += bits
+                channel._busy_accum_ps += ser
+                if end > channel._busy_until:
+                    channel._busy_until = end
+            # Per forwarding router, _account_express_forward() inline:
+            # one forwarded count + the pump pass's two rotations.
+            for router in mid_routers:
+                router.forwarded.value += 1
+                rr = router._rr_order
+                if rr:
+                    rr.append(rr.pop(0))
+                    rr.append(rr.pop(0))
+            # Final delivery: on_deliver -> pump -> endpoint accept.
+            # The express credit debit and the pump's release_credit
+            # cancel; the delivery counts once, the pump pass rotates
+            # once (the accept's own notify_space rotation opens the
+            # next loop pass).
+            final_router.delivered.value += 1
+            rr = final_router._rr_order
+            if rr:
+                rr.append(rr.pop(0))
+            self.trajectory_hops += 1
+            src = address
+            dest = ndest
+            inject_ps = t_send
+            hops = n_hops
+            engine = target
+            ekey = key
+            kind = tkind
+            erouter = trouter
+            t_arr = t_arrive
+        # Scalar handoff for the forward that could not ride: exactly
+        # _finish's send branch, at the already-advanced clock.
+        self.handoffs += 1
+        if lookup_delay:
+            engine.schedule(lookup_delay, engine.send, packet, ndest)
+        else:
+            engine.send(packet, ndest)
+
+    def _recipe_of(self, engine: Engine, kind: str) -> tuple:
+        """Build and cache the per-engine leg recipe.
+
+        Every entry is an object the engine's ``__init__`` creates and
+        no repo code ever reassigns (queue, trackers, counters, the NoC
+        port and its channel caches), plus two method-identity flags
+        for the stock checksum shortcuts and the RMT engine's constant
+        interval/latency.  Mutable *state* (occupancy, busy lanes,
+        ``_next_accept_ps``, channel idleness) is always read from the
+        live objects, never from the recipe.
+        """
+        cls = type(engine)
+        port = engine.port
+        inj = port._channel
+        rmt = kind == "rmt"
+        rec = (
+            engine.queue,
+            engine.queue._seq,
+            engine.queue.pushed,
+            engine.queue_latency,
+            engine.service_latency,
+            engine.processed,
+            engine.name,
+            cls.handle is _CHECKSUM_HANDLE,
+            cls.service_time_ps is _CHECKSUM_SVC,
+            engine.address,
+            engine.lookup_table,
+            0 if rmt else engine._lookup_ps,
+            inj,
+            inj._express_paths,
+            inj._ser_cache,
+            port.injected,
+            engine.pps_meter if rmt else None,
+            engine.initiation_interval_ps if rmt else 0,
+            engine.latency_ps if rmt else 0,
+        )
+        self._recipes[id(engine)] = rec
+        return rec
+
+    def _route_multi(self, engine: Engine, outputs, rmt: bool) -> None:
+        """Multicast/drop outputs: the scalar routing loop verbatim
+        (``lookup_delay`` latches across iterations exactly as
+        ``_finish``'s does), ending the ride."""
+        lookup_delay = 0
+        for out_packet, dest in outputs:
+            if dest is None:
+                dest = engine._route_by_chain(out_packet)
+                if not rmt:
+                    lookup_delay = engine._lookup_ps
+            if dest is None:
+                engine.terminal(out_packet)
+            elif dest == engine.address:
+                if rmt:
+                    engine._loopback(out_packet)
+                else:
+                    engine.schedule(lookup_delay, engine._loopback,
+                                    out_packet)
+            elif lookup_delay:
+                engine.schedule(lookup_delay, engine.send, out_packet, dest)
+            else:
+                engine.send(out_packet, dest)
+
+    # ------------------------------------------------------------------
+    # Frame trains (multi-frame batch at one engine)
+    # ------------------------------------------------------------------
+
+    def try_batch(self, engine: Engine) -> bool:
+        """Service an idle engine's queued frames as one train.
+
+        Called from ``Engine._try_start`` when the queue holds more than
+        one frame and no lane is busy (the shape left behind by a stall
+        fault recovering, or backpressure releasing).  Computes each
+        frame's service window arithmetically, vectorizes the payload
+        work through ``service_many``, and replays the scalar
+        bookkeeping: per-pop round-robin rotations ride real events at
+        their scalar timestamps, sends are scheduled at
+        ``finish + lookup``, and a sentinel event at the last finish
+        restores the lane.  Returns False (mutating nothing) when any
+        frame in pop order fails eligibility before a 2-frame prefix.
+        """
+        if engine.service_many is Engine.service_many:
+            return False
+        if (engine.lanes != 1
+                or engine.slowdown != 1.0
+                or engine.payload_buffer is not None
+                or engine.overflow == "backpressure" and engine.queue.is_full):
+            return False
+        if self._kind_of(engine) != "base":
+            return False
+        sim = self.sim
+        horizon = sim.train_horizon()
+        if horizon is None:
+            return False
+        router = self._router_of(engine)
+        if router is False or router._buffered or router._express_flights:
+            return False
+        address = engine.address
+        plan = []
+        t = sim.now
+        for message, _rank, _droppable in engine.queue.peek_batch():
+            packet = message.packet
+            if (packet.kind is _CONTROL
+                    or "__trace__" in packet.meta.annotations):
+                break
+            header = packet.panic
+            if header is None or header.exhausted:
+                # Lookup-table routing and terminal/loopback shapes stay
+                # scalar; chains give a statically checkable route.
+                break
+            if address in header.chain[header.cursor:]:
+                # The chain revisits this engine: the return could land
+                # mid-train and contend with pre-popped frames.
+                break
+            delay = engine.service_time_ps(packet)  # pure by contract
+            finish = t + delay
+            if finish >= horizon:
+                break
+            plan.append((message, t, finish))
+            t = finish
+        if len(plan) < 2:
+            return False
+        packets = [entry[0].packet for entry in plan]
+        outs = engine.service_many(packets)
+        if outs is None or len(outs) != len(plan):
+            return False
+        # -- Commit.  The batch equals this scalar interleaving: pop_1 at
+        # now, finish_1 at f_1 (which pops frame 2), ... finish_N at f_N.
+        popped = engine.queue.pop_batch(len(plan))
+        assert [m for m, _r in popped] == [entry[0] for entry in plan]
+        lookup_ps = engine._lookup_ps
+        last_finish = plan[-1][2]
+        for index, ((message, start, finish), frame_outs) in enumerate(
+                zip(plan, outs)):
+            packet = message.packet
+            enq = packet.meta.annotations.pop("enqueue_ps", start)
+            engine.queue_latency.observe(enq, start)
+            if index == 0:
+                # Pop 1 happens inside this very _try_start call: its
+                # notify_space (one rotation) fires now, like scalar.
+                if engine.notify_space is not None:
+                    engine.notify_space()
+            else:
+                # Pops 2..N happen inside _finish at the previous
+                # frame's finish; their rotations must interleave with
+                # any traffic pumping this router mid-train, so they
+                # ride real events at the scalar timestamps.
+                sim.schedule_at(start, self._batch_rotation, engine)
+            engine.processed.value += 1
+            engine.service_latency.observe(start, finish)
+            packet.touch(engine.name)
+            lookup_delay = 0
+            for out_packet, dest in frame_outs:
+                if dest is None:
+                    dest = engine._route_by_chain(out_packet)
+                    lookup_delay = lookup_ps
+                if dest is None:
+                    sim.schedule_at(finish, engine.terminal, out_packet)
+                elif dest == address:
+                    sim.schedule_at(finish + lookup_delay,
+                                    engine._loopback, out_packet)
+                elif lookup_delay:
+                    sim.schedule_at(finish + lookup_delay,
+                                    engine.send, out_packet, dest)
+                else:
+                    sim.schedule_at(finish, engine.send, out_packet, dest)
+            self.batched_frames += 1
+        # The lane stays busy until the last finish; the sentinel then
+        # mirrors _finish's trailing _try_start (serving anything that
+        # arrived exactly at the boundary).
+        engine._busy_lanes += 1
+        sim.schedule_at(last_finish, self._batch_release, engine)
+        self.batches += 1
+        return True
+
+    def _batch_rotation(self, engine: Engine) -> None:
+        """One scalar pop's notify_space, at its scalar timestamp."""
+        if engine.notify_space is not None:
+            engine.notify_space()
+
+    def _batch_release(self, engine: Engine) -> None:
+        """Sentinel at the train's last finish: free the lane and resume
+        the scalar service loop."""
+        engine._busy_lanes -= 1
+        engine._try_start()

@@ -77,7 +77,20 @@ class EthernetPort(Engine):
         start = max(self.now, self._rx_wire_free_ps)
         arrival = start + self.wire_time_ps(packet)
         self._rx_wire_free_ps = arrival
-        self.schedule(arrival - self.now, self._rx_arrival, packet)
+        lane = self._train_lane
+        if lane is None:
+            self.schedule(arrival - self.now, self._rx_arrival, packet)
+            return arrival
+        # Reserve the arrival's place in the tie-break order now, but
+        # enqueue nothing yet: after the injecting event's callback
+        # returns (so everything it schedules is visible to the train
+        # horizon), the lane either absorbs the arrival -- bookkeeping
+        # plus the whole trajectory replayed in place (repro.core.train)
+        # -- or commits this event, which then fires exactly as if
+        # scheduled here.
+        sim = self.sim
+        event = sim.make_event(arrival, self._rx_arrival, packet)
+        sim.defer(lane.deferred_wire_ride, self, packet, arrival, event)
         return arrival
 
     def _rx_arrival(self, packet: Packet) -> None:
@@ -99,6 +112,11 @@ class EthernetPort(Engine):
                 packet.frame_bytes
             )
             self.schedule(write_delay, self._loopback, packet)
+            return
+        lane = self._train_lane
+        if lane is not None and lane.try_ride(self, packet):
+            # The frame's whole trajectory was replayed inside this
+            # event (repro.core.train); nothing left to schedule.
             return
         self._loopback(packet)
 

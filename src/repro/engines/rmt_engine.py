@@ -35,6 +35,14 @@ DEPARSER_CYCLES = 1
 #: A decision handler: converts (packet, phv) into routed outputs.
 DecisionHandler = Callable[[Packet, Phv], List[EngineOutput]]
 
+#: Memoized ``enum.value.encode()`` results for intrinsic metadata.
+_ENUM_BYTES: dict = {}
+
+#: Shared intrinsic-metadata dicts keyed by (direction, kind, ingress,
+#: egress, tenant).  Read-only by contract; bounded by wholesale
+#: clearing.
+_INTRINSIC_MEMO: dict = {}
+
 
 class RmtPipelineEngine(Engine):
     """The heavyweight RMT pipeline tile.
@@ -163,17 +171,35 @@ class RmtPipelineEngine(Engine):
                 self.send(out_packet, dest)
 
     def _intrinsic_metadata(self, packet: Packet) -> dict:
-        meta = {
-            "direction": packet.meta.direction.value.encode(),
-            "kind": packet.kind.value.encode(),
-        }
-        if packet.meta.ingress_port is not None:
-            meta["ingress_port"] = packet.meta.ingress_port
-        if packet.meta.egress_port is not None:
-            meta["egress_port"] = packet.meta.egress_port
-        if packet.meta.tenant is not None:
-            meta["tenant"] = packet.meta.tenant
-        return meta
+        meta = packet.meta
+        key = (meta.direction, packet.kind, meta.ingress_port,
+               meta.egress_port, meta.tenant)
+        # The dict is a pure function of the key and is only ever read
+        # (pipeline.process iterates it), so one shared instance per
+        # distinct key serves every frame of a flow.
+        cached = _INTRINSIC_MEMO.get(key)
+        if cached is not None:
+            return cached
+        direction, kind, ingress, egress, tenant = key
+        # The encoded enum values are constants; encode each once.
+        encoded = _ENUM_BYTES.get(direction)
+        if encoded is None:
+            encoded = _ENUM_BYTES[direction] = direction.value.encode()
+        fields = {"direction": encoded}
+        encoded = _ENUM_BYTES.get(kind)
+        if encoded is None:
+            encoded = _ENUM_BYTES[kind] = kind.value.encode()
+        fields["kind"] = encoded
+        if ingress is not None:
+            fields["ingress_port"] = ingress
+        if egress is not None:
+            fields["egress_port"] = egress
+        if tenant is not None:
+            fields["tenant"] = tenant
+        if len(_INTRINSIC_MEMO) >= 512:
+            _INTRINSIC_MEMO.clear()
+        _INTRINSIC_MEMO[key] = fields
+        return fields
 
     def decide(self, packet: Packet, phv: Phv) -> List[EngineOutput]:
         """Turn the pipeline's PHV into routing decisions."""

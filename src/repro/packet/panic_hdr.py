@@ -143,10 +143,12 @@ class PanicHeader:
         return header, data[need:]
 
     def copy(self) -> "PanicHeader":
-        return PanicHeader(
-            chain=list(self.chain),
-            cursor=self.cursor,
-            slack_ps=self.slack_ps,
-            needs_rmt=self.needs_rmt,
-            droppable=self.droppable,
-        )
+        # The source header already passed __post_init__ validation and
+        # every field is copied verbatim, so skip re-validating.
+        clone = object.__new__(PanicHeader)
+        clone.chain = list(self.chain)
+        clone.cursor = self.cursor
+        clone.slack_ps = self.slack_ps
+        clone.needs_rmt = self.needs_rmt
+        clone.droppable = self.droppable
+        return clone

@@ -126,9 +126,23 @@ def copy_field(phv: Phv, ctx: ActionContext, *, src: str, dst: str) -> None:
     phv.set(dst, phv.get(src))
 
 
+#: Memoized chain encodings for ``set_chain``: route tables reuse the
+#: same chain for every frame of a flow, and the wire form is a pure
+#: function of the address list.  Bounded by wholesale clearing.
+_CHAIN_BYTES_MEMO: Dict[tuple, bytes] = {}
+_CHAIN_BYTES_MAX = 512
+
+
 def set_chain(phv: Phv, ctx: ActionContext, *, chain: List[int]) -> None:
     """Replace the packet's offload chain (list of engine addresses)."""
-    phv.set("meta.chain", b"".join(addr.to_bytes(2, "big") for addr in chain))
+    key = tuple(chain)
+    encoded = _CHAIN_BYTES_MEMO.get(key)
+    if encoded is None:
+        if len(_CHAIN_BYTES_MEMO) >= _CHAIN_BYTES_MAX:
+            _CHAIN_BYTES_MEMO.clear()
+        encoded = _CHAIN_BYTES_MEMO[key] = b"".join(
+            addr.to_bytes(2, "big") for addr in chain)
+    phv.set("meta.chain", encoded)
 
 
 def push_chain(phv: Phv, ctx: ActionContext, *, engine: int) -> None:
@@ -193,6 +207,14 @@ def load_balance(
     phv.set(dst, value % ways)
 
 
+#: Memoized FNV results for ``hash_select``: the hash is a pure function
+#: of the field values and ``ways``, and RSS steering hashes flow-stable
+#: fields, so back-to-back frames of one flow hit the same entry.
+#: Bounded by wholesale clearing, like the parse memo.
+_HASH_SELECT_MEMO: Dict[tuple, int] = {}
+_HASH_SELECT_MAX = 512
+
+
 def hash_select(
     phv: Phv,
     ctx: ActionContext,
@@ -204,13 +226,20 @@ def hash_select(
     """Hash PHV fields into [0, ways) (RSS-style flow-stable steering)."""
     if ways <= 0:
         raise ActionError(f"hash_select needs positive ways, got {ways}")
-    acc = 0x811C9DC5
-    for name in fields:
-        value = phv.get(name)
-        data = value if isinstance(value, bytes) else value.to_bytes(8, "big")
-        for byte in data:
-            acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
-    phv.set(dst, acc % ways)
+    values = tuple(phv.get(name) for name in fields)
+    key = (values, ways)
+    selected = _HASH_SELECT_MEMO.get(key)
+    if selected is None:
+        acc = 0x811C9DC5
+        for value in values:
+            data = (value if isinstance(value, bytes)
+                    else value.to_bytes(8, "big"))
+            for byte in data:
+                acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+        if len(_HASH_SELECT_MEMO) >= _HASH_SELECT_MAX:
+            _HASH_SELECT_MEMO.clear()
+        selected = _HASH_SELECT_MEMO[key] = acc % ways
+    phv.set(dst, selected)
 
 
 def decrement_ttl(phv: Phv, ctx: ActionContext) -> None:

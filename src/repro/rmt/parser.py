@@ -73,6 +73,9 @@ class ParseGraph:
         """
         if phv is None:
             phv = Phv()
+        if (self.start == "ethernet" and len(data) >= 42
+                and _fused_default_parse(self._states, data, phv._fields)):
+            return phv
         state_name = self.start
         remaining = data
         steps = 0
@@ -174,30 +177,94 @@ def extract_kv(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
     return rest, None
 
 
+#: Canonical transition maps of the default graph's UDP spine, used both
+#: to build it and to recognize it in the fused fast parse below.
+_ETH_TRANSITIONS = {ETHERTYPE_IPV4: "ipv4", None: ACCEPT}
+_IPV4_TRANSITIONS = {
+    IP_PROTO_UDP: "udp",
+    IP_PROTO_TCP: "tcp",
+    IP_PROTO_ESP: "esp",
+    None: ACCEPT,
+}
+_UDP_TRANSITIONS = {KV_UDP_PORT: "kv", None: ACCEPT}
+
+
+def _fused_default_parse(states, data: bytes, fields: dict) -> bool:
+    """One-pass Ethernet/IPv4/UDP walk for the default graph's spine.
+
+    The per-state FSM walk above costs three extractor calls, three
+    header ``unpack``s and the address objects they build -- all to
+    produce fifteen PHV integers whose wire offsets are fixed once the
+    frame is known to be plain non-KV UDP-in-IPv4.  This reads them
+    directly.  Eligibility is re-checked per call (the three spine
+    states must carry the stock extractors and transition maps, so a
+    reprogrammed graph never takes the shortcut), every header
+    validation the FSM would apply is replicated as a pure read, and
+    any mismatch -- other EtherType or protocol, IPv4 options, KV
+    traffic, truncation -- returns False before writing a single field,
+    leaving the FSM to produce its exact result (including the
+    ``meta.parse_error`` paths).  Field write order matches the FSM's.
+    """
+    eth_s = states.get("ethernet")
+    ipv4_s = states.get("ipv4")
+    udp_s = states.get("udp")
+    if (eth_s is None or ipv4_s is None or udp_s is None
+            or eth_s.extractor is not extract_ethernet
+            or ipv4_s.extractor is not extract_ipv4
+            or udp_s.extractor is not extract_udp
+            or eth_s.transitions != _ETH_TRANSITIONS
+            or ipv4_s.transitions != _IPV4_TRANSITIONS
+            or udp_s.transitions != _UDP_TRANSITIONS):
+        return False
+    if (data[12] << 8) | data[13] != ETHERTYPE_IPV4:
+        return False
+    if data[14] != 0x45:  # version 4, IHL 5: the only unpackable shape
+        return False
+    total_length = (data[16] << 8) | data[17]
+    if total_length < 20 or data[23] != IP_PROTO_UDP:
+        return False
+    rest = data[34:]
+    l3_payload = total_length - 20
+    if l3_payload <= len(rest):  # extract_ipv4's MAC-padding trim
+        rest = rest[:l3_payload]
+    if len(rest) < 8:
+        return False  # truncated UDP: the FSM's parse_error path
+    src_port = (rest[0] << 8) | rest[1]
+    dst_port = (rest[2] << 8) | rest[3]
+    udp_len = (rest[4] << 8) | rest[5]
+    if (udp_len < 8 or src_port == KV_UDP_PORT
+            or dst_port == KV_UDP_PORT):
+        return False  # bad length / KV traffic: keep walking the FSM
+    fields["eth.dst"] = int.from_bytes(data[0:6], "big")
+    fields["eth.src"] = int.from_bytes(data[6:12], "big")
+    fields["eth.type"] = ETHERTYPE_IPV4
+    fields["ipv4.src"] = int.from_bytes(data[26:30], "big")
+    fields["ipv4.dst"] = int.from_bytes(data[30:34], "big")
+    fields["ipv4.proto"] = IP_PROTO_UDP
+    fields["ipv4.ttl"] = data[22]
+    tos = data[15]
+    fields["ipv4.dscp"] = tos >> 2
+    fields["ipv4.ecn"] = tos & 0x3
+    fields["ipv4.len"] = total_length
+    fields["ipv4.id"] = (data[18] << 8) | data[19]
+    fields["udp.src_port"] = src_port
+    fields["udp.dst_port"] = dst_port
+    fields["udp.len"] = udp_len
+    fields["meta.payload"] = rest[8:]
+    return True
+
+
 def default_parse_graph() -> ParseGraph:
     """Ethernet -> IPv4 -> {UDP -> KV, TCP, ESP} parse graph."""
     graph = ParseGraph(start="ethernet")
     graph.add_state(
-        ParserState(
-            "ethernet",
-            extract_ethernet,
-            {ETHERTYPE_IPV4: "ipv4", None: ACCEPT},
-        )
+        ParserState("ethernet", extract_ethernet, dict(_ETH_TRANSITIONS))
     )
     graph.add_state(
-        ParserState(
-            "ipv4",
-            extract_ipv4,
-            {
-                IP_PROTO_UDP: "udp",
-                IP_PROTO_TCP: "tcp",
-                IP_PROTO_ESP: "esp",
-                None: ACCEPT,
-            },
-        )
+        ParserState("ipv4", extract_ipv4, dict(_IPV4_TRANSITIONS))
     )
     graph.add_state(
-        ParserState("udp", extract_udp, {KV_UDP_PORT: "kv", None: ACCEPT})
+        ParserState("udp", extract_udp, dict(_UDP_TRANSITIONS))
     )
     graph.add_state(ParserState("tcp", extract_tcp, {None: ACCEPT}))
     graph.add_state(ParserState("esp", extract_esp, {None: ACCEPT}))

@@ -187,14 +187,15 @@ class TrajectoryMemo:
                 register.on_mutate(self._invalidate)
                 self._wired.add(id(register))
         self._fields = tuple(fields)
+        self._absent = (_ABSENT,) * len(self._fields)
         self._n_stages = len(self.program.stages)
         self._n_registers = len(self.program.registers)
         self._cache.clear()
         self._uncacheable.clear()
 
     def key_of(self, phv: Phv) -> tuple:
-        fields = phv._fields
-        return tuple(fields.get(name, _ABSENT) for name in self._fields)
+        # map() with the parallel defaults tuple keeps the walk in C.
+        return tuple(map(phv._fields.get, self._fields, self._absent))
 
     # -- record / replay ------------------------------------------------
 
@@ -226,15 +227,21 @@ class TrajectoryMemo:
             if slot is _SKIP:
                 continue
             if slot is _DEFAULT:
+                # Defaults stay live: default_action has no mutation
+                # hook, so it must be re-read every traversal.
                 table = stages[index].table
-                action_name = table.default_action
-                params = table.default_params
+                actions[table.default_action](phv, ctx,
+                                              **table.default_params)
+                is_stateful = index in stateful
             else:
-                slot.hits += 1
-                action_name = slot.action
-                params = slot.params
-            actions[action_name](phv, ctx, **params)
-            if index in stateful and self.key_of(phv) != key:
+                # Compiled entry slot: the action function is frozen at
+                # record time (register_action refuses replacement);
+                # params are read live off the entry, so in-place
+                # control-plane updates keep showing through.
+                entry, action, is_stateful = slot
+                entry.hits += 1
+                action(phv, ctx, **entry.params)
+            if is_stateful and self.key_of(phv) != key:
                 # The stateful action disturbed a match-relevant field:
                 # the rest of the trajectory is stale.  The prefix ran
                 # exactly as a full traversal would have, so finish with
@@ -291,7 +298,12 @@ class TrajectoryMemo:
                 self._cache.clear()
             if len(self._uncacheable) >= self.max_entries:
                 self._uncacheable.clear()
-            self._cache[key] = (slots, frozenset(stateful))
+            compiled = tuple(
+                slot if slot is _SKIP or slot is _DEFAULT
+                else (slot, actions[slot.action], index in stateful)
+                for index, slot in enumerate(slots)
+            )
+            self._cache[key] = (compiled, frozenset(stateful))
 
 
 class RmtPipeline:
@@ -322,8 +334,15 @@ class RmtPipeline:
         """
         phv = Phv()
         if metadata:
+            fields = phv._fields
             for key, value in metadata.items():
-                phv.set(f"meta.{key}", value)
+                # Phv.set inline minus the f-string; the type check is
+                # delegated to set() only when it would fail, so the
+                # error (and everything else) is identical.
+                if isinstance(value, (int, bytes)):
+                    fields["meta." + key] = value
+                else:
+                    phv.set("meta." + key, value)
         self.program.parse_graph.parse(data, phv)
         self._ctx.now_ps = now_ps
         if self.memo is not None:

@@ -120,10 +120,22 @@ class Simulator:
         self._finished = False
         self._pool: List[Event] = []
         self._cancelled_pending = 0
+        # Deadline of the run() call currently executing (None when the
+        # run is unbounded).  The batched train lane reads it through
+        # :meth:`train_horizon` so a train never commits state beyond the
+        # window a caller asked for -- in the sharded runner that window
+        # is the conservative ShardBoundary sync window, which is exactly
+        # why trains can never leak across shard barriers.
+        self._run_until: Optional[int] = None
         # Passive observers called after every fired event (telemetry
         # probes).  Empty on the hot path: run()'s inlined drain loop is
         # taken only when no hooks are installed.
         self._after_hooks: List[Callable[[int], None]] = []
+        # Deferred slots: callbacks run after the currently-executing
+        # event's callback returns, when the event schedule is sealed.
+        # Used by the train lane to absorb just-scheduled wire arrivals
+        # (see defer()).
+        self._deferred: Deque[Tuple[Callable[..., None], tuple]] = deque()
 
     # ------------------------------------------------------------------
     # Component registry
@@ -206,6 +218,66 @@ class Simulator:
         else:
             heapq.heappush(self._heap, (when, seq, event))
         return event
+
+    def defer(self, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` once the current event's callback returns.
+
+        Deferred slots exist for speculation that must wait until the
+        running event has *finished scheduling*: an optimisation fired
+        mid-callback could commit against a horizon that is missing
+        events the rest of the callback is about to schedule.  Slots run
+        in FIFO order at the current timestamp, before the next event is
+        popped (for calls made outside the loop, at the next ``run()``
+        or ``step()``).  A slot may defer further slots; they join the
+        same drain.
+        """
+        self._deferred.append((fn, args))
+
+    def make_event(self, when_ps: int, fn: Callable[..., None],
+                   *args: Any) -> Event:
+        """Allocate an event with the *current* sequence number without
+        enqueuing it.
+
+        Companion to :meth:`defer`: a deferred slot that may absorb the
+        event entirely (a train ride) reserves its place in the global
+        tie-break order now, and either drops the event (absorbed) or
+        enqueues it via :meth:`commit_event` -- where it fires exactly
+        as if it had been scheduled here, including against later
+        same-timestamp events.
+        """
+        if when_ps < self.now:
+            raise SimError(
+                f"cannot make an event in the past ({when_ps} < {self.now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.when = when_ps
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            return event
+        return Event(when_ps, seq, fn, args, self)
+
+    def commit_event(self, event: Event) -> None:
+        """Enqueue an event from :meth:`make_event`.
+
+        Always heap-bound, even at ``when == now``: the pop loops break
+        same-timestamp ties between the heap and the FIFO lane by
+        sequence number, so an old-seq event committed late still fires
+        in its reserved order (the FIFO deque alone could not host it --
+        its order is append order).
+        """
+        heapq.heappush(self._heap, (event.when, event.seq, event))
+
+    def _drain_deferred(self) -> None:
+        deferred = self._deferred
+        while deferred:
+            fn, args = deferred.popleft()
+            fn(*args)
 
     def add_after_event_hook(self, hook: Callable[[int], None]) -> None:
         """Register ``hook(now_ps)`` to run after every fired event.
@@ -308,6 +380,47 @@ class Simulator:
         """
         return self._peek_when()
 
+    def train_horizon(self) -> Optional[float]:
+        """First instant a batched frame train may *not* touch.
+
+        The train lane (:mod:`repro.core.train`) may only commit state
+        mutations with timestamps **strictly below** this horizon: at the
+        horizon itself a pending event (necessarily carrying an older
+        sequence number) would fire first under scalar execution and
+        could observe the pre-mutation state.  Returns ``None`` when the
+        simulator is not quiescent -- a same-timestamp FIFO event is
+        still pending, or after-event hooks (telemetry probes) are
+        installed and must observe every intermediate step.  Returns
+        ``inf`` for a fully drained, unbounded run.
+
+        ``run(until_ps=...)`` fires events *at* ``until_ps``, so the
+        horizon inside a bounded window is ``until_ps + 1``.
+        """
+        if self._fifo or self._after_hooks:
+            return None
+        nxt = self._peek_when()
+        horizon: float = float("inf") if nxt is None else nxt
+        if self._run_until is not None and self._run_until + 1 < horizon:
+            horizon = self._run_until + 1
+        return horizon
+
+    def advance_clock(self, when_ps: int) -> None:
+        """Move ``now`` forward inside the currently-executing event.
+
+        Used by the train lane to replay a frame's whole trajectory in
+        one event: genuine component methods (``handle``, ``decide``,
+        ``service_time_ps``) read ``self.now`` and schedule relative
+        delays, so the lane shifts the clock to each emulated hop's
+        timestamp before invoking them.  Monotonic only -- the kernel's
+        heap invariants do not survive time travel.
+        """
+        if when_ps < self.now:
+            raise SimError(
+                f"advance_clock cannot move backwards "
+                f"({when_ps} < {self.now})"
+            )
+        self.now = when_ps
+
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
         event = self._pop_next()
@@ -327,6 +440,8 @@ class Simulator:
             event.fn = None
             event.args = ()
             self._pool.append(event)
+        if self._deferred:
+            self._drain_deferred()
         if self._after_hooks:
             now = self.now
             for hook in self._after_hooks:
@@ -359,6 +474,14 @@ class Simulator:
                 f"on_max_events must be 'return' or 'raise', got {on_max_events!r}"
             )
         fired = 0
+        # Expose the window deadline to the train lane for the duration
+        # of this call (None = unbounded); see train_horizon().
+        self._run_until = until_ps
+        if self._deferred:
+            # Slots queued by calls made outside the event loop (e.g. a
+            # direct nic.inject before run()): the caller's schedule is
+            # sealed once run() is entered.
+            self._drain_deferred()
         if until_ps is None and max_events is None and not self._after_hooks:
             # No deadline, no budget, no observers: drain with the
             # pop/fire machinery of step()/_pop_next() inlined -- two call
@@ -369,6 +492,7 @@ class Simulator:
             heap = self._heap
             fifo = self._fifo
             pool = self._pool
+            deferred = self._deferred
             heappop = heapq.heappop
             getrefcount = sys.getrefcount
             while True:
@@ -416,26 +540,31 @@ class Simulator:
                     event.fn = None
                     event.args = ()
                     pool.append(event)
+                if deferred:
+                    self._drain_deferred()
             _TOTALS["events_fired"] += fired
             return fired
-        while True:
-            head_when = self._peek_when()
-            if head_when is None:
-                break
-            if max_events is not None and fired >= max_events:
-                if on_max_events == "raise" and self.live_pending_events:
-                    _TOTALS["events_fired"] += fired
-                    raise DeadlockError(
-                        f"run() exhausted max_events={max_events} at "
-                        f"{format_time(self.now)} with work still pending "
-                        f"(likely deadlock or livelock)\n"
-                        + self.pending_summary()
-                    )
-                break
-            if until_ps is not None and head_when > until_ps:
-                break
-            if self.step():
-                fired += 1
+        try:
+            while True:
+                head_when = self._peek_when()
+                if head_when is None:
+                    break
+                if max_events is not None and fired >= max_events:
+                    if on_max_events == "raise" and self.live_pending_events:
+                        _TOTALS["events_fired"] += fired
+                        raise DeadlockError(
+                            f"run() exhausted max_events={max_events} at "
+                            f"{format_time(self.now)} with work still pending "
+                            f"(likely deadlock or livelock)\n"
+                            + self.pending_summary()
+                        )
+                    break
+                if until_ps is not None and head_when > until_ps:
+                    break
+                if self.step():
+                    fired += 1
+        finally:
+            self._run_until = None
         if until_ps is not None and self.now < until_ps:
             self.now = until_ps
         _TOTALS["events_fired"] += fired

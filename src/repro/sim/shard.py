@@ -304,6 +304,11 @@ def _shard_worker_main(
             for key, capsules in ingress:
                 boundaries[key].schedule_deliveries(capsules)
             try:
+                # Batched execution (repro.core.train) needs no shard
+                # awareness: run(until_ps=...) sets the kernel's
+                # train_horizon to until_ps + 1, so a train can never
+                # commit state beyond the synchronization window that a
+                # cross-shard delivery could land in.
                 fired = sim.run(
                     until_ps=until_ps,
                     max_events=window_budget,

@@ -72,6 +72,7 @@ def build_rack_nic(
     seed: int = 0,
     fast_path: bool = True,
     telemetry=None,
+    batch: bool = False,
 ) -> Tuple[PanicNic, Callable[[], dict]]:
     """Build rack node ``index`` of ``n_nics``: a PANIC NIC with one port
     per peer, TX routes steering each flow's DSCP onto its cable, per-
@@ -90,6 +91,7 @@ def build_rack_nic(
         seed=seed + index,
         fast_path=fast_path,
         telemetry=telemetry,
+        batch_execution=batch,
     )
     nic = PanicNic(sim, config, name=name)
 
@@ -172,6 +174,7 @@ def rack_topology(
     seed: int = 0,
     fast_path: bool = True,
     telemetry=None,
+    batch: bool = False,
 ) -> RackTopology:
     """An all-pairs-cabled rack of ``nics`` PANIC NICs running the given
     traffic pattern.  Every unordered pair gets one full-duplex cable;
@@ -195,6 +198,7 @@ def rack_topology(
                 "seed": seed,
                 "fast_path": fast_path,
                 "telemetry": telemetry,
+                "batch": batch,
             },
         )
         for i in range(nics)

@@ -1,0 +1,362 @@
+"""Batched execution must be invisible in simulated results.
+
+``PanicConfig.batch_execution`` enables the train lane
+(:mod:`repro.core.train`): trajectory trains replay a frame's whole
+path inside one kernel event, wire rides absorb the per-frame arrival
+event, and frame trains vectorize an idle engine's backlog through
+``service_many``.  All of it is a pure wall-clock optimisation: the
+equivalence contract (DESIGN.md, "Batched execution") is that every
+simulated observable -- delivery order, picosecond timestamps, the
+full ``PanicNic.stats()`` tree, telemetry traces, sharded rack
+reports -- is bit-identical with batching forced on and forced off.
+
+These tests enforce that contract on the scenarios that stress it
+hardest (chained contention, armed faults landing mid-train, traced
+packets interleaved with rideable ones, same-timestamp control events,
+rack shards at several worker counts), and separately prove the lane
+actually fires (else it is dead code and the equivalence is vacuous).
+"""
+
+import gc
+import weakref
+
+import pytest
+
+from repro.core import PanicConfig, PanicNic
+from repro.faults import FaultInjector, FaultPlan, attach_health_monitor
+from repro.packet import Packet, build_udp_frame
+from repro.sim import Simulator
+from repro.sim.clock import NS, US
+from repro.sim.shard import run_monolithic, run_sharded
+from repro.telemetry import TelemetryConfig
+from repro.workloads.rack import rack_topology
+
+
+def _udp_packet(payload, seq, dscp, src_port=7777):
+    frame = build_udp_frame(
+        src_mac="02:00:00:00:00:01",
+        dst_mac="02:00:00:00:00:02",
+        src_ip="10.0.0.1",
+        dst_ip="10.0.0.2",
+        src_port=src_port,
+        dst_port=8888,
+        payload=payload,
+        dscp=dscp,
+        identification=seq & 0xFFFF,
+    )
+    packet = Packet(frame)
+    packet.meta.annotations["seq"] = seq
+    return packet
+
+
+def _watch_deliveries(sim, nic):
+    """Record (sequence number, delivery timestamp) in delivery order."""
+    deliveries = []
+
+    def handler(packet, _queue):
+        deliveries.append((packet.meta.annotations.get("seq"), sim.now))
+
+    nic.host.software_handler = handler
+    return deliveries
+
+
+# ----------------------------------------------------------------------
+# Scenario runners, parametrized on the batch knob
+# ----------------------------------------------------------------------
+
+
+def run_chaining(batch):
+    """Multi-hop chaining with a tight gap: a mix of train-eligible
+    uncontended frames, queueing that forces scalar handoffs, and
+    same-timestamp races against already-scheduled arrivals."""
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("regex", "checksum", "checksum1"),
+        batch_execution=batch,
+        offload_params={"regex": {"patterns": [b"x"],
+                                  "cycles_per_byte": 0.5}},
+    ))
+    nic.control.route_dscp(1, ["checksum", "regex", "checksum1"])
+    deliveries = _watch_deliveries(sim, nic)
+    for i in range(150):
+        sim.schedule_at(i * 200_000, nic.inject,
+                        _udp_packet(b"y" * 200, seq=i, dscp=1))
+    sim.run()
+    nic.mesh.assert_drained()
+    return deliveries, sim.now, nic.stats()
+
+
+def run_fault_recovery(batch):
+    """Armed crash + health monitor + failover: the fault lands while
+    trains are in flight, and the lane must stand down (engine-ready
+    checks, heartbeat CONTROL traffic) without perturbing anything."""
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("ipsec", "ipsec1", "compression", "kvcache"),
+        seed=3,
+        batch_execution=batch,
+    ))
+    nic.set_backup("ipsec", "ipsec1")
+    nic.control.route_dscp(10, ["ipsec"])
+    nic.control.route_dscp(12, ["ipsec1"])
+    monitor = attach_health_monitor(nic, period_ps=2 * US, timeout_ps=4 * US)
+    monitor.start()
+    plan = FaultPlan(seed=3).crash_engine(30 * US, "ipsec")
+    FaultInjector(nic, plan).arm()
+    deliveries = _watch_deliveries(sim, nic)
+
+    def inject(i=0):
+        if i >= 200:
+            return
+        nic.inject(_udp_packet(bytes(120), seq=i, src_port=1000 + i,
+                               dscp=10 if i % 2 == 0 else 12))
+        sim.schedule(150 * NS, inject, i + 1)
+
+    inject()
+    sim.run(until_ps=150 * US)
+    monitor.stop()
+    sim.run()
+    return deliveries, sim.now, nic.stats()
+
+
+def run_stall_backlog(batch):
+    """Stall an engine under load, then recover it: the backlog drains
+    through ``try_batch`` (frame trains) when batching is on."""
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("checksum",),
+        seed=7,
+        batch_execution=batch,
+    ))
+    nic.control.route_dscp(1, ["checksum"])
+    plan = (FaultPlan(seed=7)
+            .stall_engine(10 * US, "checksum")
+            .recover_engine(80 * US, "checksum"))
+    FaultInjector(nic, plan).arm()
+    deliveries = _watch_deliveries(sim, nic)
+    # Frames 0..29 at a 2 us gap: everything after 10 us queues behind
+    # the stalled engine and is still waiting at the 80 us recovery.
+    for i in range(30):
+        sim.schedule_at(i * 2 * US, nic.inject,
+                        _udp_packet(bytes(160), seq=i, dscp=1))
+    sim.run()
+    nic.mesh.assert_drained()
+    return deliveries, sim.now, nic.stats(), nic
+
+
+def run_traced(batch):
+    """Telemetry sampling on: traced packets must go scalar (spans need
+    real events) while untraced neighbours keep riding trains, and the
+    trace itself must be bit-identical either way."""
+    sim = Simulator()
+    telemetry = TelemetryConfig(sample_every=4, probe_period_ps=0)
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("checksum", "checksum1"),
+        seed=11,
+        telemetry=telemetry,
+        batch_execution=batch,
+    ))
+    nic.control.route_dscp(1, ["checksum", "checksum1"])
+    deliveries = _watch_deliveries(sim, nic)
+    for i in range(80):
+        sim.schedule_at(i * 500_000, nic.inject,
+                        _udp_packet(b"z" * 180, seq=i, dscp=1))
+    sim.run()
+    nic.mesh.assert_drained()
+    trace = nic.telemetry.trace_report()
+    return deliveries, sim.now, nic.stats(), trace
+
+
+def run_control_race(batch):
+    """Control-plane reprogramming racing trains at the picosecond.
+
+    A route for DSCP class 2 is installed by an event at exactly frame
+    20's injection instant, and a second frame is injected at exactly
+    frame 30's instant: same-timestamp FIFO events forbid trains (the
+    horizon is None while the lane drains), so both races must resolve
+    in scalar schedule order in either mode."""
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1,
+        offloads=("checksum", "checksum1"),
+        batch_execution=batch,
+    ))
+    nic.control.route_dscp(1, ["checksum"])
+    deliveries = _watch_deliveries(sim, nic)
+    gap = 2 * US
+    for i in range(40):
+        sim.schedule_at(i * gap, nic.inject,
+                        _udp_packet(b"w" * 200, seq=i,
+                                    dscp=1 if i % 2 == 0 else 2))
+    # Class 2 gains a route mid-stream: odd frames before this instant
+    # take the unprogrammed default path, odd frames after it take the
+    # two-hop chain -- and the reprogramming event lands at the same
+    # timestamp as frame 20's injection.
+    sim.schedule_at(20 * gap, nic.control.route_dscp,
+                    2, ["checksum", "checksum1"])
+    # Two injections at one instant: the second is pending (same-time
+    # FIFO) while the first's deferred ride runs, which must refuse.
+    sim.schedule_at(30 * gap, nic.inject,
+                    _udp_packet(b"w" * 200, seq=100, dscp=1))
+    sim.run()
+    nic.mesh.assert_drained()
+    return deliveries, sim.now, nic.stats()
+
+
+SCENARIOS = {
+    "chaining": run_chaining,
+    "fault_recovery": run_fault_recovery,
+    "control_race": run_control_race,
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_batched_is_bit_identical(scenario):
+    run = SCENARIOS[scenario]
+    on_deliveries, on_now, on_stats = run(batch=True)
+    off_deliveries, off_now, off_stats = run(batch=False)
+    # Same packets, same order, same picosecond delivery timestamps.
+    assert on_deliveries == off_deliveries
+    assert len(on_deliveries) > 0
+    # Simulation ends at the same instant.
+    assert on_now == off_now
+    # Every counter, histogram and meter in the stats tree agrees.
+    assert on_stats == off_stats
+
+
+def test_batched_is_bit_identical_under_stall_backlog():
+    on = run_stall_backlog(batch=True)
+    off = run_stall_backlog(batch=False)
+    assert on[:3] == off[:3]
+    assert len(on[0]) == 30
+
+
+def test_batched_is_bit_identical_with_telemetry():
+    on_deliveries, on_now, on_stats, on_trace = run_traced(batch=True)
+    off_deliveries, off_now, off_stats, off_trace = run_traced(batch=False)
+    assert on_deliveries == off_deliveries
+    assert on_now == off_now
+    assert on_stats == off_stats
+    # The sampled capsule set and every span timestamp agree too.
+    assert on_trace == off_trace
+    assert len(on_trace) > 0
+
+
+# ----------------------------------------------------------------------
+# The lane must actually fire (else the equivalence above is vacuous)
+# ----------------------------------------------------------------------
+
+
+def test_trains_actually_fire_and_elide_events():
+    def run(batch):
+        sim = Simulator()
+        nic = PanicNic(sim, PanicConfig(
+            ports=1, offloads=("checksum", "checksum1"),
+            batch_execution=batch,
+        ))
+        nic.control.route_dscp(1, ["checksum", "checksum1"])
+        for i in range(50):
+            sim.schedule_at(i * 20_000_000, nic.inject,
+                            _udp_packet(b"y" * 200, seq=i, dscp=1))
+        sim.run()
+        return sim.events_fired, nic
+
+    on_events, on_nic = run(batch=True)
+    off_events, off_nic = run(batch=False)
+    assert off_nic.train_lane is None
+    lane = on_nic.train_lane.stats()
+    # Every uncontended frame rides a full trajectory train...
+    assert lane["trajectories"] == 50
+    assert lane["trajectory_hops"] > 0
+    # ...so the batched run fires a small fraction of the events.
+    assert on_events < off_events // 3
+
+
+def test_frame_trains_fire_on_stalled_backlog():
+    _, _, _, nic = run_stall_backlog(batch=True)
+    lane = nic.train_lane.stats()
+    # The post-recovery drain vectorized multi-frame trains through
+    # service_many, not just per-frame trajectories.
+    assert lane["batches"] > 0
+    assert lane["batched_frames"] >= 2 * lane["batches"]
+
+
+def test_traced_frames_hand_off_but_neighbours_still_ride():
+    sim = Simulator()
+    telemetry = TelemetryConfig(sample_every=4, probe_period_ps=0)
+    nic = PanicNic(sim, PanicConfig(
+        ports=1, offloads=("checksum",), seed=11,
+        telemetry=telemetry, batch_execution=True,
+    ))
+    nic.control.route_dscp(1, ["checksum"])
+    for i in range(80):
+        sim.schedule_at(i * 500_000, nic.inject,
+                        _udp_packet(b"z" * 180, seq=i, dscp=1))
+    sim.run()
+    lane = nic.train_lane.stats()
+    # Untraced frames ride; traced ones are refused into scalar events.
+    assert 0 < lane["trajectories"] < 80
+    assert len(nic.telemetry.trace_report()) > 0
+
+
+# ----------------------------------------------------------------------
+# Sharded racks: batch on/off and mono/sharded all agree
+# ----------------------------------------------------------------------
+
+
+def _rack_reports(batch, workers=None):
+    topo = rack_topology(nics=4, frames=6, batch=batch)
+    if workers is None:
+        return run_monolithic(topo).reports
+    return run_sharded(topo, workers=workers).reports
+
+
+def test_rack_mono_batch_matches_scalar():
+    assert _rack_reports(batch=True) == _rack_reports(batch=False)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_rack_sharded_batch_matches_mono(workers):
+    mono = _rack_reports(batch=True)
+    sharded = _rack_reports(batch=True, workers=workers)
+    assert sorted(sharded) == sorted(mono)
+    for name, report in mono.items():
+        assert sharded[name]["deliveries"] == report["deliveries"]
+        assert sharded[name]["stats"] == report["stats"]
+
+
+# ----------------------------------------------------------------------
+# Lifetime: the lane holds no packet references after the run
+# ----------------------------------------------------------------------
+
+
+class _WeakrefPacket(Packet):
+    """Packet is slotted; this adds just enough to hang a weakref on."""
+
+    __slots__ = ("__weakref__",)
+
+
+def test_lane_releases_packets_after_run():
+    sim = Simulator()
+    nic = PanicNic(sim, PanicConfig(
+        ports=1, offloads=("checksum",), batch_execution=True,
+    ))
+    nic.control.route_dscp(1, ["checksum"])
+    refs = []
+    for i in range(10):
+        template = _udp_packet(b"r" * 64, seq=i, dscp=1)
+        packet = _WeakrefPacket(template.data)
+        packet.meta.annotations["seq"] = i
+        refs.append(weakref.ref(packet))
+        sim.schedule_at(i * 2 * US, nic.inject, packet)
+        del template, packet
+    sim.run()
+    assert nic.train_lane.stats()["trajectories"] > 0
+    gc.collect()
+    # The lane's memo tables key on scalars, not packets; nothing may
+    # pin the frames after their trajectories complete.
+    assert all(ref() is None for ref in refs)
