@@ -147,23 +147,26 @@ def cmd_faults() -> None:
 
 def cmd_rack(nics: int = 4, workers: int = 0, frames: int = 40,
              gap_ns: int = 2000, prop_ns: int = 500,
-             pattern: str = "symmetric") -> None:
+             pattern: str = "symmetric", speculative: bool = False,
+             flow_id: str = "auto") -> None:
     """Run one rack topology both monolithically and sharded across
     worker processes, then print the equivalence verdict and speedup
-    (DESIGN.md section 10)."""
+    (DESIGN.md sections 10 and 15)."""
     from repro.sim.clock import NS
     from repro.sim.shard import run_monolithic, run_sharded
-    from repro.workloads.rack import rack_topology
+    from repro.workloads.rack import rack_topology, resolve_flow_id
 
     workers = workers or min(4, nics)
     topo = rack_topology(
         nics=nics, frames=frames, gap_ps=gap_ns * NS,
-        propagation_ps=prop_ns * NS, pattern=pattern,
+        propagation_ps=prop_ns * NS, pattern=pattern, flow_id=flow_id,
     )
+    protocol = "speculative" if speculative else "conservative"
     print(f"rack: {nics} NICs, all-pairs {pattern}, {frames} frames/flow, "
-          f"{prop_ns}ns wires")
+          f"{prop_ns}ns wires, {resolve_flow_id(flow_id, nics)} flow ids, "
+          f"{protocol} windows")
     mono = run_monolithic(topo)
-    sharded = run_sharded(topo, workers=workers)
+    sharded = run_sharded(topo, workers=workers, speculative=speculative)
     rows = []
     for result in (mono, sharded):
         rate = result.events_fired / result.wall_seconds \
@@ -187,6 +190,9 @@ def cmd_rack(nics: int = 4, workers: int = 0, frames: int = 40,
         if sharded.wall_seconds else 0.0
     print("frames delivered      :", delivered)
     print("speedup               :", f"{speedup:.2f}x")
+    if sharded.speculative:
+        print("rollbacks             :", sharded.rollbacks)
+        print("replayed events       :", sharded.replayed_events)
     print("bit-identical reports :", "yes" if identical else "NO (DIVERGENCE)")
     if not identical:
         raise SystemExit("sharded run diverged from the monolithic run")
@@ -319,9 +325,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     rack = parser.add_argument_group("rack options")
     rack.add_argument("--nics", type=int, default=4,
-                      help="NICs in the rack (2..7)")
+                      help="NICs in the rack (2..7 with DSCP flow ids, "
+                           "up to 255 with the payload tag)")
     rack.add_argument("--workers", type=int, default=0,
                       help="worker processes (default: min(4, nics))")
+    rack.add_argument("--speculative", action="store_true",
+                      help="shard with speculative windows + capsule "
+                           "rollback instead of conservative barriers")
+    rack.add_argument("--flow-id", choices=("auto", "dscp", "tag"),
+                      default="auto",
+                      help="rack flow-identity encoding (auto: DSCP "
+                           "through 7 NICs, payload tag beyond)")
     rack.add_argument("--frames", type=int, default=40,
                       help="frames per directed flow")
     rack.add_argument("--gap-ns", type=int, default=2000,
@@ -361,7 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "rack":
         cmd_rack(nics=args.nics, workers=args.workers, frames=args.frames,
                  gap_ns=args.gap_ns, prop_ns=args.prop_ns,
-                 pattern=args.pattern or "symmetric")
+                 pattern=args.pattern or "symmetric",
+                 speculative=args.speculative, flow_id=args.flow_id)
     elif args.command == "trace":
         cmd_trace(frames=args.frames, sample_every=args.sample_every,
                   timeline=args.timeline, out=args.trace_out)

@@ -148,7 +148,22 @@ class PanicNic:
             self.engines[key] = engine
             used.add((x, y))
 
-        # Ethernet MACs down the west edge (Figure 3c).
+        # Ethernet MACs down the west edge (Figure 3c), spilling into the
+        # next column on big-radix configs (rack rows cable one port per
+        # peer, quickly outgrowing one column).  The east-edge tiles
+        # reserved below for DMA/PCIe are never handed out, and configs
+        # with ports <= mesh_height keep their historical column-0 spots.
+        # A user override colliding with an auto-placed MAC raises at
+        # bind time, the same conflict detection as always.
+        reserved_east = {
+            (cfg.mesh_width - 1, 0),
+            (cfg.mesh_width - 1, 1 % cfg.mesh_height),
+        }
+        eth_tiles = (
+            t for t in ((x, y) for x in range(cfg.mesh_width)
+                        for y in range(cfg.mesh_height))
+            if t not in used and t not in reserved_east
+        )
         for i in range(cfg.ports):
             mac = EthernetPort(
                 self.sim,
@@ -158,7 +173,8 @@ class PanicNic:
                 freq_hz=cfg.freq_hz,
                 on_transmit=self._on_transmit,
             )
-            place(mac, f"eth{i}", 0, i % cfg.mesh_height)
+            x, y = overrides.get(f"eth{i}") or next(eth_tiles)
+            place(mac, f"eth{i}", x, y)
             self.ports.append(mac)
 
         # DMA and PCIe engines on the east edge.

@@ -116,6 +116,15 @@ def build_panic_program(
         [MatchKey("meta.direction"), MatchKey("udp.dst_port")],
         requires="udp.dst_port",
     )
+    # Stage 4d: rack flow-tag classified chains.  The parser's rack_tag
+    # state writes ``rack.tag`` for RACK_TAG_UDP_PORT traffic; tables
+    # keyed on the 16-bit tag scale all-pairs flow identity past the
+    # 6-bit DSCP ceiling (rack rows of 32-128+ NICs).
+    program.add_table(
+        "tag_route",
+        [MatchKey("meta.direction"), MatchKey("rack.tag")],
+        requires="rack.tag",
+    )
     # Stage 5: per-tenant slack (scheduler programming, section 3.1.3).
     program.add_table(
         "tenant_slack",
@@ -130,6 +139,12 @@ def build_panic_program(
         "dscp_slack",
         [MatchKey("ipv4.dscp")],
         requires="ipv4.dscp",
+    )
+    # Stage 5c: slack keyed on the rack flow tag (same miss semantics).
+    program.add_table(
+        "tag_slack",
+        [MatchKey("rack.tag")],
+        requires="rack.tag",
     )
     # Stage 6: receive-queue steering (flow-stable hash).
     rx_steer = program.add_table(
@@ -259,6 +274,27 @@ class PanicControl:
             [DIR_TX, dscp], "set_chain", {"chain": hops}
         )
 
+    def route_tag(self, tag: int, chain: Sequence,
+                  append_dma: bool = True) -> None:
+        """Send RX traffic of a rack flow tag through ``chain``.  The
+        tag-keyed twin of :meth:`route_dscp`, for racks too large for the
+        6-bit DSCP flow encoding."""
+        hops = self.resolve_chain(chain)
+        if append_dma:
+            hops = hops + [self._dma_addr]
+        self.program.table("tag_route").add(
+            [DIR_RX, tag], "set_chain", {"chain": hops}
+        )
+
+    def route_tag_tx(self, tag: int, chain: Sequence = (),
+                     egress_port: int = 0) -> None:
+        """Send TX traffic of a rack flow tag through ``chain`` and out
+        ``egress_port``; the tag-keyed twin of :meth:`route_dscp_tx`."""
+        hops = self.resolve_chain(chain) + [self._port_addrs[egress_port]]
+        self.program.table("tag_route").add(
+            [DIR_TX, tag], "set_chain", {"chain": hops}
+        )
+
     def route_udp_port(self, dst_port: int, chain: Sequence,
                        append_dma: bool = True) -> None:
         """Send RX traffic for a UDP destination port through ``chain``
@@ -288,6 +324,12 @@ class PanicControl:
     def set_dscp_slack(self, dscp: int, slack_ps: int) -> None:
         self.program.table("dscp_slack").add(
             [dscp], "set_slack", {"slack_ps": slack_ps}
+        )
+
+    def set_tag_slack(self, tag: int, slack_ps: int) -> None:
+        """Program the scheduler's deadline for a rack flow tag."""
+        self.program.table("tag_slack").add(
+            [tag], "set_slack", {"slack_ps": slack_ps}
         )
 
     def enable_wfq(self, weights: Dict[int, float],

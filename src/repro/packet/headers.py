@@ -24,6 +24,18 @@ IP_PROTO_TCP = 6
 IP_PROTO_UDP = 17
 IP_PROTO_ESP = 50
 
+#: UDP destination port keying the rack flow-identity tag shim: payloads
+#: to this port start with a 16-bit big-endian flow tag (VXLAN-style --
+#: the tag rides the payload so every fixed wire offset below it stays
+#: put, unlike an 802.1Q tag which would shift the whole L3 stack).  The
+#: parser's ``rack_tag`` state extracts it into ``rack.tag`` without
+#: consuming it; RMT tables key TX steering and RX slack on the field.
+#: 16 bits cover all-pairs flow identity for rack rows far beyond the
+#: 6-bit DSCP cap (src * n + dst for n up to 255).
+RACK_TAG_UDP_PORT = 9100
+#: Width of the tag shim at the start of a RACK_TAG_UDP_PORT payload.
+RACK_TAG_BYTES = 2
+
 
 class HeaderError(ValueError):
     """Raised when bytes cannot be parsed as the requested header."""

@@ -4,7 +4,7 @@ An RMT parser is a finite state machine: each state extracts one header,
 writes its fields into the PHV, and selects the next state from a PHV
 field it just extracted (EtherType, IP protocol, UDP port...).  This module
 implements that model and ships the default parse graph used by the PANIC
-reference program: Ethernet -> IPv4 -> {UDP -> KV | TCP | ESP}.
+reference program: Ethernet -> IPv4 -> {UDP -> {KV | rack_tag} | TCP | ESP}.
 """
 
 from __future__ import annotations
@@ -17,6 +17,8 @@ from repro.packet.headers import (
     IP_PROTO_ESP,
     IP_PROTO_TCP,
     IP_PROTO_UDP,
+    RACK_TAG_BYTES,
+    RACK_TAG_UDP_PORT,
     EspHeader,
     EthernetHeader,
     HeaderError,
@@ -137,8 +139,24 @@ def extract_udp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
     fields["udp.src_port"] = udp.src_port
     fields["udp.dst_port"] = udp.dst_port
     fields["udp.len"] = udp.length
-    select = KV_UDP_PORT if KV_UDP_PORT in (udp.src_port, udp.dst_port) else 0
+    if KV_UDP_PORT in (udp.src_port, udp.dst_port):
+        select = KV_UDP_PORT
+    elif udp.dst_port == RACK_TAG_UDP_PORT:
+        select = RACK_TAG_UDP_PORT
+    else:
+        select = 0
     return rest, select
+
+
+def extract_rack_tag(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
+    """Extract the 16-bit rack flow tag leading a RACK_TAG_UDP_PORT
+    payload into ``rack.tag``, without consuming it -- the tag is part of
+    the payload the host and checksum offload see, exactly like a VXLAN
+    VNI rides inside the outer UDP payload."""
+    if len(data) < RACK_TAG_BYTES:
+        raise HeaderError("rack-tagged payload shorter than the tag shim")
+    phv._fields["rack.tag"] = (data[0] << 8) | data[1]
+    return data, None
 
 
 def extract_tcp(data: bytes, phv: Phv) -> Tuple[bytes, Optional[int]]:
@@ -186,7 +204,11 @@ _IPV4_TRANSITIONS = {
     IP_PROTO_ESP: "esp",
     None: ACCEPT,
 }
-_UDP_TRANSITIONS = {KV_UDP_PORT: "kv", None: ACCEPT}
+_UDP_TRANSITIONS = {
+    KV_UDP_PORT: "kv",
+    RACK_TAG_UDP_PORT: "rack_tag",
+    None: ACCEPT,
+}
 
 
 def _fused_default_parse(states, data: bytes, fields: dict) -> bool:
@@ -208,13 +230,16 @@ def _fused_default_parse(states, data: bytes, fields: dict) -> bool:
     eth_s = states.get("ethernet")
     ipv4_s = states.get("ipv4")
     udp_s = states.get("udp")
-    if (eth_s is None or ipv4_s is None or udp_s is None
+    tag_s = states.get("rack_tag")
+    if (eth_s is None or ipv4_s is None or udp_s is None or tag_s is None
             or eth_s.extractor is not extract_ethernet
             or ipv4_s.extractor is not extract_ipv4
             or udp_s.extractor is not extract_udp
+            or tag_s.extractor is not extract_rack_tag
             or eth_s.transitions != _ETH_TRANSITIONS
             or ipv4_s.transitions != _IPV4_TRANSITIONS
-            or udp_s.transitions != _UDP_TRANSITIONS):
+            or udp_s.transitions != _UDP_TRANSITIONS
+            or tag_s.transitions != {None: ACCEPT}):
         return False
     if (data[12] << 8) | data[13] != ETHERTYPE_IPV4:
         return False
@@ -235,6 +260,9 @@ def _fused_default_parse(states, data: bytes, fields: dict) -> bool:
     if (udp_len < 8 or src_port == KV_UDP_PORT
             or dst_port == KV_UDP_PORT):
         return False  # bad length / KV traffic: keep walking the FSM
+    rack_tagged = dst_port == RACK_TAG_UDP_PORT
+    if rack_tagged and len(rest) < 8 + RACK_TAG_BYTES:
+        return False  # truncated tag shim: the FSM's parse_error path
     fields["eth.dst"] = int.from_bytes(data[0:6], "big")
     fields["eth.src"] = int.from_bytes(data[6:12], "big")
     fields["eth.type"] = ETHERTYPE_IPV4
@@ -250,6 +278,8 @@ def _fused_default_parse(states, data: bytes, fields: dict) -> bool:
     fields["udp.src_port"] = src_port
     fields["udp.dst_port"] = dst_port
     fields["udp.len"] = udp_len
+    if rack_tagged:
+        fields["rack.tag"] = (rest[8] << 8) | rest[9]
     fields["meta.payload"] = rest[8:]
     return True
 
@@ -269,4 +299,7 @@ def default_parse_graph() -> ParseGraph:
     graph.add_state(ParserState("tcp", extract_tcp, {None: ACCEPT}))
     graph.add_state(ParserState("esp", extract_esp, {None: ACCEPT}))
     graph.add_state(ParserState("kv", extract_kv, {None: ACCEPT}))
+    graph.add_state(
+        ParserState("rack_tag", extract_rack_tag, {None: ACCEPT})
+    )
     return graph

@@ -136,6 +136,12 @@ class Simulator:
         # Used by the train lane to absorb just-scheduled wire arrivals
         # (see defer()).
         self._deferred: Deque[Tuple[Callable[..., None], tuple]] = deque()
+        # Optional caller-owned list of the distinct timestamps at which
+        # state was mutated: every fired event (step()) and every train
+        # hop (advance_clock()).  The speculative shard runtime installs
+        # one to detect execution past a commit point; None keeps the
+        # hot path branch-free enough to be unmeasurable.
+        self._fired_log: Optional[List[int]] = None
 
     # ------------------------------------------------------------------
     # Component registry
@@ -420,6 +426,52 @@ class Simulator:
                 f"({when_ps} < {self.now})"
             )
         self.now = when_ps
+        log = self._fired_log
+        if log is not None and (not log or log[-1] != when_ps):
+            # Trains mutate component state at emulated hop timestamps
+            # without firing heap events; the speculation dirty check
+            # must see those instants too.
+            log.append(when_ps)
+
+    def set_fired_log(self, log: Optional[List[int]]) -> None:
+        """Install (or remove, with ``None``) a mutation-timestamp log.
+
+        While installed, the kernel appends every *distinct* timestamp at
+        which component state may have changed -- each fired event's
+        ``when`` and each train-lane :meth:`advance_clock` target -- in
+        non-decreasing order.  The speculative shard runtime uses it to
+        decide whether a shard executed past a commit point and must roll
+        back (``log[-1] >= commit_ps``), and to locate the first
+        rolled-back timestamp.  The caller owns the list and may clear it
+        between windows.
+        """
+        self._fired_log = log
+
+    def rewind_clock(self, when_ps: int) -> None:
+        """Move ``now`` *backward* to a quiescent instant.
+
+        Only legal when nothing separates the two clock readings: no
+        same-timestamp FIFO events, no deferred slots, and no pending
+        event earlier than the target.  The speculative shard runtime
+        rewinds a cleanly-committed shard from its speculation horizon
+        back to the commit point so the next window's cross-shard
+        deliveries (all at or beyond the commit point) schedule onto a
+        consistent clock.  State is untouched -- by the clean-commit
+        check, no component mutated anything past the target.
+        """
+        when = int(when_ps)
+        if when > self.now:
+            raise SimError(
+                f"rewind_clock cannot move forwards ({when} > {self.now})"
+            )
+        if self._fifo or self._deferred:
+            raise SimError("rewind_clock with same-timestamp work pending")
+        nxt = self._peek_when()
+        if nxt is not None and nxt < when:
+            raise SimError(
+                f"rewind_clock past a pending event ({nxt} < {when})"
+            )
+        self.now = when
 
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if none remain."""
@@ -431,6 +483,9 @@ class Simulator:
             raise SimError("event heap corrupted: time went backwards")
         self.now = when
         self._events_fired += 1
+        log = self._fired_log
+        if log is not None and (not log or log[-1] != when):
+            log.append(when)
         fn = event.fn
         args = event.args
         fn(*args)
@@ -482,7 +537,8 @@ class Simulator:
             # direct nic.inject before run()): the caller's schedule is
             # sealed once run() is entered.
             self._drain_deferred()
-        if until_ps is None and max_events is None and not self._after_hooks:
+        if (until_ps is None and max_events is None
+                and not self._after_hooks and self._fired_log is None):
             # No deadline, no budget, no observers: drain with the
             # pop/fire machinery of step()/_pop_next() inlined -- two call
             # levels per event is measurable at this volume.  ``_compact``

@@ -30,12 +30,39 @@ The sharded run reproduces the monolithic run bit-for-bit: identical
 per-NIC ``stats()`` trees and delivery timestamps (enforced by
 ``tests/test_shard_equivalence.py``).  See DESIGN.md section 10 for the
 determinism argument and its one residual tie-breaking caveat.
+
+Speculative windows (opt-in)
+----------------------------
+
+``run_sharded(..., speculative=True)`` replaces the conservative window
+with an optimistic one: every shard runs ``spec_horizon`` lookaheads past
+the safe point, checkpointing its entire state first with a
+copy-on-write ``os.fork`` (the parent freezes as the checkpoint; the
+child speculates).  At the barrier the coordinator computes the **commit
+point** ``W`` -- the low-water mark of every new cross-shard arrival,
+capped at the speculation horizon -- and piggybacks it on the next
+round's message.  A shard that mutated state at or past ``W`` (detected
+through the kernel's fired-timestamp log, which also sees batched train
+hops) is a *straggler victim*: it hands the unprocessed message to its
+frozen checkpoint and exits; the parent wakes, replays deterministically
+to ``W - 1`` (its RNG, heap, and sequence state are the exact
+pre-speculation bits, so the replay is bit-identical and its re-emitted
+capsules are dropped as duplicates), and speculates onward.  Clean
+shards release the checkpoint and rewind their clock to ``W - 1``.
+Capsules created at or past ``W`` are discarded at the barrier -- the
+rolled-back sender will re-emit them.  ``W >= m + lookahead`` always, so
+a speculative round commits at least the conservative window; the
+horizon adapts (halves on rollback, doubles on clean rounds).  The
+commit sweep preserves bit-identical results by construction: every
+event below ``W`` fired with complete information, exactly once, in the
+surviving process lineage.  See DESIGN.md section 15.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -50,6 +77,13 @@ from repro.sim.kernel import DeadlockError, SimError, Simulator
 #: work still pending aborts the whole rack run with the shard's pending
 #: summary instead of hanging the barrier forever.
 DEFAULT_WINDOW_EVENT_BUDGET = 50_000_000
+
+#: Default speculation horizon: how many conservative lookahead windows a
+#: shard optimistically runs past the safe point before the barrier.  The
+#: coordinator adapts the live horizon between 1 (pure conservative
+#: behaviour) and this cap: halved after any rollback, doubled after an
+#: all-clean round.
+DEFAULT_SPEC_HORIZON = 8
 
 
 class ShardError(SimError):
@@ -118,6 +152,23 @@ class ShardRunResult:
     #: mode-independent direction label (``wire0.nic0->nic1``), merged
     #: across shards.  Comparable between execution modes like reports.
     wire_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: True when the run used (or requested) the speculative protocol.
+    speculative: bool = False
+    #: Horizon cap the speculative coordinator adapted under (0 when the
+    #: protocol could not engage, e.g. no cross-shard wires).
+    spec_horizon: int = 0
+    #: Speculation outcome counters, summed across shards: checkpoints
+    #: abandoned (rollbacks), events re-fired during deterministic replay,
+    #: and optimistically-fired events thrown away with their checkpoint.
+    rollbacks: int = 0
+    replayed_events: int = 0
+    discarded_events: int = 0
+    #: One entry per synchronization round:
+    #: ``(commit_ps, dirty_shards, cumulative_rollbacks,
+    #: cumulative_replayed_events)``.  Conservative rounds log
+    #: ``(window_end + 1, 0, 0, 0)``.  Feeds the Perfetto counter track
+    #: (:func:`repro.telemetry.export.shard_window_counters`).
+    window_log: List[Tuple[int, int, int, int]] = field(default_factory=list)
 
 
 def _mp_context():
@@ -209,6 +260,75 @@ def _link_end(link: LinkSpec, end: str) -> Tuple[str, int]:
     return (link.nic_a, link.port_a) if end == "a" else (link.nic_b, link.port_b)
 
 
+def _build_shard(
+    sim: Simulator,
+    shard: int,
+    topology: RackTopology,
+    assignment: Dict[str, int],
+    fault_plan=None,
+):
+    """Construct shard ``shard``'s slice of the topology inside ``sim``:
+    its NICs, intra-shard wires, cross-shard boundaries, and armed
+    faults.  Returns ``(nics, reports, boundaries, wires)``."""
+    from repro.faults.rack import (
+        arm_rack_faults, boundary_end, wire_direction_label, wire_ends,
+    )
+    from repro.workloads.wire import ShardBoundary, Wire
+
+    nics: Dict[str, Any] = {}
+    reports: Dict[str, Callable[[], dict]] = {}
+    for spec in topology.nics:
+        if assignment[spec.name] != shard:
+            continue
+        nic, report = spec.builder(sim, spec.name, **spec.params)
+        nics[spec.name] = nic
+        reports[spec.name] = report
+
+    boundaries: Dict[Tuple[int, str], Any] = {}
+    wires = []
+    ends: Dict[Tuple[int, str], Any] = {}
+    for index, link in enumerate(topology.links):
+        shard_a = assignment[link.nic_a]
+        shard_b = assignment[link.nic_b]
+        if shard_a == shard and shard_b == shard:
+            wire = Wire(
+                sim, nics[link.nic_a], nics[link.nic_b],
+                name=f"wire{index}.{link.nic_a}-{link.nic_b}",
+                propagation_ps=link.propagation_ps,
+                port_a=link.port_a, port_b=link.port_b,
+                fault_labels={
+                    end: wire_direction_label(index, link, end)
+                    for end in ("a", "b")
+                },
+            )
+            wires.append(wire)
+            ends.update(wire_ends(wire, index))
+        elif shard_a == shard or shard_b == shard:
+            end = "a" if shard_a == shard else "b"
+            nic_name, port = _link_end(link, end)
+            peer_name, _ = _link_end(link, _OTHER_END[end])
+            boundary = ShardBoundary(
+                sim, nics[nic_name], port,
+                peer_nic=peer_name,
+                propagation_ps=link.propagation_ps,
+                name=f"boundary{index}.{nic_name}.p{port}",
+                fault_label=wire_direction_label(index, link, end),
+            )
+            boundaries[(index, end)] = boundary
+            ends.update(boundary_end(boundary, index, end))
+    arm_rack_faults(fault_plan, topology, sim, nics, ends)
+    return nics, reports, boundaries, wires
+
+
+def _shard_wire_stats(wires, boundaries) -> Dict[str, Dict[str, int]]:
+    wire_stats: Dict[str, Dict[str, int]] = {}
+    for wire in wires:
+        wire_stats.update(wire.wire_stats())
+    for boundary in boundaries.values():
+        wire_stats.update(boundary.wire_stats())
+    return wire_stats
+
+
 def _shard_worker_main(
     conn,
     shard: int,
@@ -231,71 +351,22 @@ def _shard_worker_main(
     * Budget exhaustion replies ``("deadlock", summary)``; any other
       failure replies ``("error", traceback)``.
     """
-    from repro.faults.rack import (
-        arm_rack_faults, boundary_end, wire_direction_label, wire_ends,
-    )
-    from repro.workloads.wire import ShardBoundary, Wire
-
     try:
         sim = Simulator()
-        nics: Dict[str, Any] = {}
-        reports: Dict[str, Callable[[], dict]] = {}
-        for spec in topology.nics:
-            if assignment[spec.name] != shard:
-                continue
-            nic, report = spec.builder(sim, spec.name, **spec.params)
-            nics[spec.name] = nic
-            reports[spec.name] = report
-
-        boundaries: Dict[Tuple[int, str], ShardBoundary] = {}
-        wires = []
-        ends: Dict[Tuple[int, str], Any] = {}
-        for index, link in enumerate(topology.links):
-            shard_a = assignment[link.nic_a]
-            shard_b = assignment[link.nic_b]
-            if shard_a == shard and shard_b == shard:
-                wire = Wire(
-                    sim, nics[link.nic_a], nics[link.nic_b],
-                    name=f"wire{index}.{link.nic_a}-{link.nic_b}",
-                    propagation_ps=link.propagation_ps,
-                    port_a=link.port_a, port_b=link.port_b,
-                    fault_labels={
-                        end: wire_direction_label(index, link, end)
-                        for end in ("a", "b")
-                    },
-                )
-                wires.append(wire)
-                ends.update(wire_ends(wire, index))
-            elif shard_a == shard or shard_b == shard:
-                end = "a" if shard_a == shard else "b"
-                nic_name, port = _link_end(link, end)
-                peer_name, _ = _link_end(link, _OTHER_END[end])
-                boundary = ShardBoundary(
-                    sim, nics[nic_name], port,
-                    peer_nic=peer_name,
-                    propagation_ps=link.propagation_ps,
-                    name=f"boundary{index}.{nic_name}.p{port}",
-                    fault_label=wire_direction_label(index, link, end),
-                )
-                boundaries[(index, end)] = boundary
-                ends.update(boundary_end(boundary, index, end))
-        arm_rack_faults(fault_plan, topology, sim, nics, ends)
+        nics, reports, boundaries, wires = _build_shard(
+            sim, shard, topology, assignment, fault_plan
+        )
 
         conn.send(("ready", sim.next_event_ps()))
 
         while True:
             message = conn.recv()
             if message[0] == "finish":
-                wire_stats: Dict[str, Dict[str, int]] = {}
-                for wire in wires:
-                    wire_stats.update(wire.wire_stats())
-                for boundary in boundaries.values():
-                    wire_stats.update(boundary.wire_stats())
                 conn.send((
                     "reports",
                     {name: report() for name, report in reports.items()},
                     sim.now,
-                    wire_stats,
+                    _shard_wire_stats(wires, boundaries),
                 ))
                 return
             if message[0] != "run":  # pragma: no cover - protocol misuse
@@ -335,6 +406,204 @@ def _shard_worker_main(
 
 
 # ---------------------------------------------------------------------------
+# Speculative worker process (fork-based copy-on-write checkpoints)
+# ---------------------------------------------------------------------------
+
+
+def _send_verdict(fd: int, verdict: tuple) -> None:
+    """Deliver the speculator's verdict to its frozen checkpoint and
+    close the pipe."""
+    data = pickle.dumps(verdict, protocol=pickle.HIGHEST_PROTOCOL)
+    with os.fdopen(fd, "wb") as fh:
+        fh.write(data)
+
+
+def _spec_checkpoint():
+    """Checkpoint this worker process with a copy-on-write fork.
+
+    Returns ``(None, verdict_fd)`` in the **child**, which speculates
+    onward and must eventually deliver exactly one verdict through
+    ``verdict_fd``:
+
+    * ``("release",)`` -- the speculation committed cleanly; the frozen
+      parent exits and the child is authoritative.
+    * ``("rollback", payload)`` -- the child executed past the commit
+      point; it exits right after sending, and this call returns
+      ``(payload, None)`` **in the parent**, which resumes as the live
+      worker from the exact pre-speculation state (heap, RNG streams,
+      sequence counters, reliability timers -- every object bit-for-bit,
+      which is what makes the replay deterministic).
+
+    The parent never touches the coordinator pipe while frozen, so the
+    duplex connection needs no locking.  A child that dies without a
+    verdict (coordinator abort, crash) EOFs the pipe and the parent
+    exits quietly.
+    """
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:
+        os.close(read_fd)
+        return None, write_fd
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as fh:
+        try:
+            verdict = pickle.load(fh)
+        except Exception:
+            os._exit(1)
+    if verdict[0] == "release":
+        os._exit(0)
+    os.waitpid(pid, 0)
+    return verdict[1], None
+
+
+def _spec_worker_main(
+    conn,
+    shard: int,
+    topology: RackTopology,
+    assignment: Dict[str, int],
+    window_budget: Optional[int],
+    fault_plan=None,
+) -> None:
+    """Entry point of one speculative shard process.
+
+    Protocol (tuples over a duplex pipe):
+
+    * -> ``("ready", next_ps)`` after construction.
+    * <- ``("spec", commit_ps, until_ps, checkpoint, ingress)``: first
+      resolve the *previous* round at the piggybacked commit point
+      (release the frozen checkpoint and rewind, or roll back to it and
+      replay), then schedule ingress, fork a fresh checkpoint (skipped
+      when ``checkpoint`` is false -- the coordinator proves the round
+      commits whole), and speculate to ``until_ps``.  Replies ``("spec_done", next_ps, fired,
+      fired_times, outbox, counters)`` where ``fired_times`` is the
+      kernel's distinct mutation-timestamp log for the speculation and
+      ``counters`` the cumulative speculation counters.
+    * <- ``("finish", commit_ps)``: resolve (necessarily clean -- the
+      coordinator only finishes after a round with no new cross-shard
+      capsules), then reply ``("reports", {nic: report}, now_ps,
+      wire_stats, counters, events_fired)``.  ``events_fired`` counts
+      the surviving process lineage only, i.e. each committed event
+      exactly once.
+    """
+    try:
+        sim = Simulator()
+        nics, reports, boundaries, wires = _build_shard(
+            sim, shard, topology, assignment, fault_plan
+        )
+        fired_log: List[int] = []
+        sim.set_fired_log(fired_log)
+        counters = {
+            "rollbacks": 0, "replayed_events": 0, "discarded_events": 0,
+        }
+        verdict_fd: Optional[int] = None  # pipe to the frozen checkpoint
+        spec_fired = 0  # events fired by this process's last speculation
+
+        conn.send(("ready", sim.next_event_ps()))
+        message = conn.recv()
+        while True:
+            kind = message[0]
+            commit_ps = message[1]
+            # Phase A: resolve the previous round at commit_ps.  Only a
+            # process holding a frozen checkpoint has anything to
+            # resolve; a parent resuming after rollback already sits at
+            # the commit point with no checkpoint behind it.
+            if verdict_fd is not None:
+                if fired_log and fired_log[-1] >= commit_ps:
+                    # Straggler: state mutated at or past the commit
+                    # point.  Forward the unprocessed message to the
+                    # checkpoint and vanish; the parent takes over.
+                    _send_verdict(
+                        verdict_fd, ("rollback", (message, spec_fired))
+                    )
+                    os._exit(0)
+                _send_verdict(verdict_fd, ("release",))
+                verdict_fd = None
+                if commit_ps - 1 < sim.now:
+                    sim.rewind_clock(commit_ps - 1)
+            if kind == "finish":
+                conn.send((
+                    "reports",
+                    {name: report() for name, report in reports.items()},
+                    sim.now,
+                    _shard_wire_stats(wires, boundaries),
+                    dict(counters),
+                    sim.events_fired,
+                ))
+                return
+            if kind != "spec":  # pragma: no cover - protocol misuse
+                raise ShardError(f"shard {shard}: unexpected {kind!r}")
+            _, _, until_ps, do_ckpt, ingress = message
+
+            # Phase B: schedule this round's cross-shard arrivals (all at
+            # or beyond the commit point), checkpoint, speculate.  The
+            # coordinator clears do_ckpt when the window provably commits
+            # whole (horizon 1), making the fork unnecessary.
+            for key, capsules in ingress:
+                boundaries[key].schedule_deliveries(capsules)
+            payload, child_fd = (
+                _spec_checkpoint() if do_ckpt else (None, None)
+            )
+            if payload is not None:
+                # Parent, woken by a rollback: replay deterministically
+                # to the commit point the child could not honour, drop
+                # the duplicate capsules the replay re-emits (the
+                # coordinator kept the originals), and process the
+                # forwarded message as the live worker.
+                message, dirty_fired = payload
+                counters["rollbacks"] += 1
+                counters["discarded_events"] += dirty_fired
+                del fired_log[:]
+                try:
+                    counters["replayed_events"] += sim.run(
+                        until_ps=message[1] - 1,
+                        max_events=window_budget,
+                        on_max_events="raise",
+                    )
+                except DeadlockError as exc:
+                    conn.send((
+                        "deadlock", f"{exc}\n{_shard_pending_detail(nics)}",
+                    ))
+                    return
+                for boundary in boundaries.values():
+                    boundary.take_outbox()
+                continue
+            # Child: speculate past the horizon.
+            verdict_fd = child_fd
+            del fired_log[:]
+            try:
+                spec_fired = sim.run(
+                    until_ps=until_ps,
+                    max_events=window_budget,
+                    on_max_events="raise",
+                )
+            except DeadlockError as exc:
+                conn.send((
+                    "deadlock", f"{exc}\n{_shard_pending_detail(nics)}",
+                ))
+                return
+            outbox = [
+                ((index, _OTHER_END[end]), batch)
+                for (index, end), boundary in boundaries.items()
+                for batch in (boundary.take_outbox(),)
+                if batch
+            ]
+            conn.send((
+                "spec_done", sim.next_event_ps(), spec_fired,
+                list(fired_log), outbox, dict(counters),
+            ))
+            message = conn.recv()
+    except (EOFError, BrokenPipeError):
+        # Coordinator went away (abort path); frozen ancestors unwind
+        # through their verdict-pipe EOFs.
+        pass
+    except Exception:  # pragma: no cover - ships the traceback out
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
 # Coordinator
 # ---------------------------------------------------------------------------
 
@@ -344,6 +613,8 @@ def run_sharded(
     workers: int,
     window_event_budget: Optional[int] = DEFAULT_WINDOW_EVENT_BUDGET,
     fault_plan=None,
+    speculative: bool = False,
+    spec_horizon: int = DEFAULT_SPEC_HORIZON,
 ) -> ShardRunResult:
     """Run ``topology`` partitioned across ``workers`` processes.
 
@@ -358,9 +629,27 @@ def run_sharded(
     worker arms its local subset with plan-global RNG salts (see
     :mod:`repro.faults.rack`), so a faulty sharded run reproduces the
     faulty monolithic run bit-for-bit.
+
+    ``speculative=True`` switches to optimistic windows with
+    fork-checkpoint rollback (module docstring): shards run up to
+    ``spec_horizon`` lookaheads past the safe point and roll back on
+    stragglers.  Results stay bit-identical to the monolithic run; the
+    :class:`ShardRunResult` additionally carries rollback/replay
+    counters and a per-round window log.  Requires POSIX ``os.fork``.
+    When the topology has no cross-shard wires there is nothing to
+    speculate past, so the conservative single-window path runs instead
+    (the result still reports ``speculative=True`` with zero counters).
     """
     assignment = topology.assign_shards(workers)
     lookahead = topology.lookahead_ps(assignment)
+    spec_live = bool(speculative and lookahead)
+    if spec_live and not hasattr(os, "fork"):  # pragma: no cover
+        raise ShardError(
+            "speculative mode requires POSIX fork for copy-on-write "
+            "checkpoints"
+        )
+    if spec_live and spec_horizon < 1:
+        raise ShardError(f"spec_horizon must be >= 1, got {spec_horizon}")
 
     # Destination boundary key -> owning shard, for routing outboxes.
     key_shard: Dict[Tuple[int, str], int] = {}
@@ -377,7 +666,7 @@ def run_sharded(
         for shard in range(workers):
             parent, child = ctx.Pipe(duplex=True)
             proc = ctx.Process(
-                target=_shard_worker_main,
+                target=_spec_worker_main if spec_live else _shard_worker_main,
                 args=(child, shard, topology, assignment,
                       window_event_budget, fault_plan),
                 name=f"repro-shard-{shard}",
@@ -408,47 +697,146 @@ def run_sharded(
         ]
         total_fired = 0
         rounds = 0
+        window_log: List[Tuple[int, int, int, int]] = []
+        rollbacks = replayed = discarded = 0
 
-        while True:
-            candidates = [t for t in next_ps if t is not None]
-            candidates.extend(
-                capsule.arrival_ps
-                for shard_inbox in inbox
-                for batch in shard_inbox.values()
-                for capsule in batch
-            )
-            if not candidates:
-                break
-            if lookahead:
-                # Half-open window: run to E - 1 so a frame arriving at
-                # exactly E is scheduled before any local event at E.
-                until: Optional[int] = min(candidates) + lookahead - 1
-            else:
-                until = None  # no cross-shard wires: one unbounded window
-            rounds += 1
-            for shard in range(workers):
-                pipes[shard].send((
-                    "run", until, sorted(inbox[shard].items()),
-                ))
-                inbox[shard] = {}
-            exchanged = False
-            for shard in range(workers):
-                _, shard_next, fired, outbox = expect(shard, "done")
-                next_ps[shard] = shard_next
-                total_fired += fired
-                for key, batch in outbox:
-                    inbox[key_shard[key]].setdefault(key, []).extend(batch)
-                    exchanged = True
-            if until is None and not exchanged:
-                break
+        if spec_live:
+            commit_ps: Optional[int] = None
+            horizon = 1 if spec_horizon < 1 else spec_horizon
+            while True:
+                candidates = [t for t in next_ps if t is not None]
+                candidates.extend(
+                    capsule.arrival_ps
+                    for shard_inbox in inbox
+                    for batch in shard_inbox.values()
+                    for capsule in batch
+                )
+                if not candidates:
+                    break
+                until = min(candidates) + horizon * lookahead - 1
+                rounds += 1
+                # At horizon 1 every new arrival lands at or beyond
+                # until + 1, so the round provably commits whole: skip
+                # the checkpoint fork, the round degenerates to a
+                # conservative window.
+                do_ckpt = horizon > 1
+                for shard in range(workers):
+                    pipes[shard].send((
+                        "spec", commit_ps, until, do_ckpt,
+                        sorted(inbox[shard].items()),
+                    ))
+                    inbox[shard] = {}
+                replies = [
+                    expect(shard, "spec_done") for shard in range(workers)
+                ]
+                # Commit point: low-water mark of every new cross-shard
+                # arrival, capped at the horizon.  Conservative on
+                # purpose -- arrivals of capsules that will themselves be
+                # rolled back still lower it; that only costs extra
+                # replay, never correctness, and W >= m + lookahead
+                # keeps each round committing at least the conservative
+                # window.
+                commit_ps = until + 1
+                for _, _, _, _, outbox, _ in replies:
+                    for _key, batch in outbox:
+                        for capsule in batch:
+                            if capsule.arrival_ps < commit_ps:
+                                commit_ps = capsule.arrival_ps
+                dirty = 0
+                rollbacks = replayed = discarded = 0
+                for shard, reply in enumerate(replies):
+                    _, next_at_s, _fired, fired_times, outbox, ctrs = reply
+                    # The shard's corrected next event after the commit
+                    # sweep: the first rolled-back timestamp, if any,
+                    # else its post-speculation head.
+                    first_rolled = next(
+                        (t for t in fired_times if t >= commit_ps), None
+                    )
+                    if first_rolled is not None:
+                        dirty += 1
+                        next_ps[shard] = (
+                            first_rolled if next_at_s is None
+                            else min(first_rolled, next_at_s)
+                        )
+                    else:
+                        next_ps[shard] = next_at_s
+                    rollbacks += ctrs["rollbacks"]
+                    replayed += ctrs["replayed_events"]
+                    discarded += ctrs["discarded_events"]
+                    for key, batch in outbox:
+                        kept = [
+                            c for c in batch if c.created_ps < commit_ps
+                        ]
+                        if kept:
+                            inbox[key_shard[key]].setdefault(
+                                key, []
+                            ).extend(kept)
+                # Counters lag one round: a rollback forced by this W
+                # shows up in the next reply.  Good enough for a gauge.
+                window_log.append((commit_ps, dirty, rollbacks, replayed))
+                horizon = (
+                    max(1, horizon // 2) if dirty
+                    else min(spec_horizon, horizon * 2)
+                )
+        else:
+            while True:
+                candidates = [t for t in next_ps if t is not None]
+                candidates.extend(
+                    capsule.arrival_ps
+                    for shard_inbox in inbox
+                    for batch in shard_inbox.values()
+                    for capsule in batch
+                )
+                if not candidates:
+                    break
+                if lookahead:
+                    # Half-open window: run to E - 1 so a frame arriving
+                    # at exactly E is scheduled before any local event at
+                    # E fires.
+                    until: Optional[int] = min(candidates) + lookahead - 1
+                else:
+                    until = None  # no cross-shard wires: unbounded window
+                rounds += 1
+                for shard in range(workers):
+                    pipes[shard].send((
+                        "run", until, sorted(inbox[shard].items()),
+                    ))
+                    inbox[shard] = {}
+                exchanged = False
+                for shard in range(workers):
+                    _, shard_next, fired, outbox = expect(shard, "done")
+                    next_ps[shard] = shard_next
+                    total_fired += fired
+                    for key, batch in outbox:
+                        inbox[key_shard[key]].setdefault(key, []).extend(batch)
+                        exchanged = True
+                if until is not None:
+                    window_log.append((until + 1, 0, 0, 0))
+                if until is None and not exchanged:
+                    break
 
         reports: Dict[str, dict] = {}
         final_ps: Dict[str, int] = {}
         wire_stats: Dict[str, Dict[str, int]] = {}
         for shard in range(workers):
-            pipes[shard].send(("finish",))
+            pipes[shard].send(
+                ("finish", commit_ps) if spec_live else ("finish",)
+            )
+        if spec_live:
+            rollbacks = replayed = discarded = 0
+            total_fired = 0
         for shard in range(workers):
-            _, shard_reports, now_ps, shard_wires = expect(shard, "reports")
+            reply = expect(shard, "reports")
+            shard_reports, now_ps, shard_wires = reply[1], reply[2], reply[3]
+            if spec_live:
+                ctrs, lineage_fired = reply[4], reply[5]
+                rollbacks += ctrs["rollbacks"]
+                replayed += ctrs["replayed_events"]
+                discarded += ctrs["discarded_events"]
+                # The surviving lineage fired each committed event
+                # exactly once; per-round sums would double-count
+                # rolled-back work.
+                total_fired += lineage_fired
             reports.update(shard_reports)
             wire_stats.update(shard_wires)
             for name in shard_reports:
@@ -469,6 +857,12 @@ def run_sharded(
             final_ps=final_ps,
             trace=merge_trace_reports(reports),
             wire_stats=wire_stats,
+            speculative=speculative,
+            spec_horizon=spec_horizon if spec_live else 0,
+            rollbacks=rollbacks,
+            replayed_events=replayed,
+            discarded_events=discarded,
+            window_log=window_log,
         )
     finally:
         for proc in procs:

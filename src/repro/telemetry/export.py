@@ -89,13 +89,65 @@ def chrome_trace_events(
     return events
 
 
+#: Synthetic Chrome-trace pid for the shard coordinator's counter
+#: tracks -- far above any per-NIC pid chrome_trace_events assigns.
+_COORDINATOR_PID = 10_000
+
+
+def shard_window_counters(result, pid: int = _COORDINATOR_PID) -> List[dict]:
+    """Chrome trace events for a sharded run's window churn.
+
+    One synthetic ``shard-coordinator`` process with counter ("C") tracks
+    sampled at every commit point: ``sync_rounds`` (monotone round
+    count), ``rollbacks`` and ``replayed_events`` (cumulative speculation
+    counters), and ``dirty_shards`` (that round's mispredicted shards) --
+    plus an instant per round carrying the raw tuple, so Perfetto shows
+    exactly where speculation paid off and where it churned.  Empty for
+    monolithic results (no ``window_log``).
+    """
+    window_log = getattr(result, "window_log", None) or []
+    if not window_log:
+        return []
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "name": "process_name",
+        "args": {"name": "shard-coordinator"},
+    }]
+    for round_no, (commit_ps, dirty, rollbacks, replayed) in enumerate(
+            window_log, start=1):
+        ts = commit_ps / _PS_PER_US
+        for name, value in (
+            ("sync_rounds", round_no),
+            ("dirty_shards", dirty),
+            ("rollbacks", rollbacks),
+            ("replayed_events", replayed),
+        ):
+            events.append({
+                "ph": "C", "pid": pid, "name": name, "ts": ts,
+                "args": {"value": value},
+            })
+        events.append({
+            "ph": "i", "pid": pid, "tid": 0, "name": "window_commit",
+            "cat": "instant", "s": "p", "ts": ts,
+            "args": {"commit_ps": commit_ps, "dirty_shards": dirty,
+                     "rollbacks": rollbacks, "replayed_events": replayed},
+        })
+    return events
+
+
 def write_chrome_trace(
     path: str,
     spans_by_nic: Dict[str, Sequence],
     series_by_nic: Optional[Dict[str, Dict[str, object]]] = None,
+    extra_events: Optional[List[dict]] = None,
 ) -> int:
-    """Write a Perfetto-loadable ``trace.json``; returns the event count."""
+    """Write a Perfetto-loadable ``trace.json``; returns the event count.
+
+    ``extra_events`` are appended verbatim after the per-NIC events --
+    e.g. :func:`shard_window_counters` for a sharded run's commit track.
+    """
     events = chrome_trace_events(spans_by_nic, series_by_nic)
+    if extra_events:
+        events.extend(extra_events)
     with open(path, "w") as fh:
         json.dump({"traceEvents": events, "displayTimeUnit": "ns"}, fh)
     return len(events)

@@ -1,0 +1,187 @@
+"""The speculative shard protocol must be invisible in simulated results.
+
+``run_sharded(..., speculative=True)`` lets shards run optimistically
+past the conservative lookahead horizon, fork-checkpointing per-shard
+state each round and rolling back to deterministic replay whenever a
+straggler capsule lands inside the optimistic window.  The contract is
+the same bit-identity bar the conservative protocol meets (DESIGN.md
+section 10 / section 15): every per-NIC observable -- stats trees,
+delivery tuples, wire fault accounting, even the total event count --
+must match the monolithic run exactly, on clean traffic, under seeded
+wire faults with reliable transports, and with the batched train lane
+enabled.  These tests enforce it and pin the speculation machinery's
+edges: rollback counters, the window log, the kernel's fired-timestamp
+log and ``rewind_clock`` validation.
+"""
+
+import os
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.faults.rack import wire_target
+from repro.reliability.rack import reliable_rack_topology
+from repro.sim.clock import NS, US
+from repro.sim.kernel import SimError, Simulator
+from repro.sim.shard import (
+    DEFAULT_SPEC_HORIZON,
+    ShardError,
+    run_monolithic,
+    run_sharded,
+)
+from repro.workloads.rack import rack_topology
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="speculation requires os.fork")
+
+
+def _assert_identical(mono, sharded):
+    assert set(sharded.reports) == set(mono.reports)
+    for name in mono.reports:
+        assert sharded.reports[name] == mono.reports[name], \
+            f"{name} diverges"
+    assert sharded.wire_stats == mono.wire_stats
+    assert sharded.events_fired == mono.events_fired
+
+
+class TestSpeculativeEquivalence:
+    def test_chatty_incast_all_worker_counts(self):
+        # Dense all-pairs traffic: stragglers constantly land inside the
+        # optimistic window, so this exercises rollback + replay hard.
+        topo = rack_topology(nics=4, frames=10, gap_ps=1 * US)
+        mono = run_monolithic(topo)
+        for workers in (1, 2, 4):
+            spec = run_sharded(topo, workers=workers, speculative=True)
+            _assert_identical(mono, spec)
+            assert spec.speculative
+
+    def test_sparse_traffic_commits_wide_windows(self):
+        # Long gaps between frames: speculation should commit multi-
+        # lookahead windows and finish in fewer rounds than the
+        # conservative protocol needs.
+        topo = rack_topology(nics=4, frames=12, gap_ps=40 * US,
+                             propagation_ps=500 * NS)
+        mono = run_monolithic(topo)
+        cons = run_sharded(topo, workers=2, speculative=False)
+        spec = run_sharded(topo, workers=2, speculative=True)
+        _assert_identical(mono, cons)
+        _assert_identical(mono, spec)
+        assert spec.rounds < cons.rounds
+
+    def test_fanin_rack(self):
+        topo = rack_topology(nics=4, frames=8, pattern="fanin")
+        mono = run_monolithic(topo)
+        spec = run_sharded(topo, workers=4, speculative=True)
+        _assert_identical(mono, spec)
+
+    def test_faulty_wires_with_reliable_transport(self):
+        # Seeded drops + corruption under go-back-N: rollback must not
+        # double-inject or lose capsules, and the per-wire fault
+        # accounting must replay to the exact same counters.
+        plan = FaultPlan(seed=3)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                plan.wire_loss(0, wire_target(i, j),
+                               drop_p=0.02, corrupt_p=0.01)
+        topo = reliable_rack_topology(nics=4, pattern="fanin", frames=12)
+        mono = run_monolithic(topo, fault_plan=plan)
+        spec = run_sharded(topo, workers=2, speculative=True,
+                           fault_plan=plan)
+        _assert_identical(mono, spec)
+
+    def test_batched_train_lane(self):
+        # PR7's batch_execution lane mutates NIC state at emulated hop
+        # times without firing heap events; the kernel's fired log must
+        # still see those mutations so dirty detection stays sound.
+        # Note: train formation depends on window boundaries, so the raw
+        # event *count* differs between monolithic and sharded batched
+        # runs (a window end splits a train in two) -- the observables
+        # must still match, and speculation must fire exactly as many
+        # events as the conservative protocol.
+        topo = rack_topology(nics=4, frames=10, batch=True)
+        mono = run_monolithic(topo)
+        cons = run_sharded(topo, workers=4, speculative=False)
+        spec = run_sharded(topo, workers=4, speculative=True)
+        for name in mono.reports:
+            assert spec.reports[name] == mono.reports[name]
+        assert spec.wire_stats == mono.wire_stats
+        assert spec.events_fired == cons.events_fired
+
+    def test_tag_rack_past_the_dscp_cap(self):
+        topo = rack_topology(nics=9, frames=4, pattern="fanin")
+        mono = run_monolithic(topo)
+        spec = run_sharded(topo, workers=3, speculative=True)
+        _assert_identical(mono, spec)
+
+
+class TestSpeculationCounters:
+    def test_rollbacks_happen_and_are_counted(self):
+        topo = rack_topology(nics=4, frames=10, gap_ps=1 * US)
+        spec = run_sharded(topo, workers=4, speculative=True)
+        assert spec.rollbacks > 0
+        assert spec.replayed_events > 0
+        assert spec.discarded_events > 0
+        # The window log's cumulative counters end at the run totals.
+        assert spec.window_log
+        assert spec.window_log[-1][2] == spec.rollbacks
+        assert spec.window_log[-1][3] == spec.replayed_events
+        # Commit points move strictly forward.
+        commits = [entry[0] for entry in spec.window_log]
+        assert commits == sorted(commits)
+
+    def test_conservative_rounds_log_clean_windows(self):
+        topo = rack_topology(nics=4, frames=6)
+        cons = run_sharded(topo, workers=2, speculative=False)
+        assert not cons.speculative
+        assert cons.rollbacks == 0 and cons.replayed_events == 0
+        assert len(cons.window_log) == cons.rounds
+        assert all(entry[1:] == (0, 0, 0) for entry in cons.window_log)
+
+    def test_horizon_reported(self):
+        topo = rack_topology(nics=4, frames=6)
+        spec = run_sharded(topo, workers=2, speculative=True)
+        assert spec.spec_horizon == DEFAULT_SPEC_HORIZON
+        narrow = run_sharded(topo, workers=2, speculative=True,
+                             spec_horizon=1)
+        # Horizon 1 degenerates to conservative windows: provably clean.
+        assert narrow.rollbacks == 0
+        _assert_identical(run_monolithic(topo), narrow)
+
+    def test_bad_horizon_rejected(self):
+        topo = rack_topology(nics=4, frames=2)
+        with pytest.raises(ShardError):
+            run_sharded(topo, workers=2, speculative=True, spec_horizon=0)
+
+    def test_single_worker_has_no_cross_wires(self):
+        # No cross-shard wires -> no lookahead -> the speculative
+        # protocol cannot engage; the run still completes and reports
+        # horizon 0.
+        topo = rack_topology(nics=3, frames=4)
+        spec = run_sharded(topo, workers=1, speculative=True)
+        assert spec.spec_horizon == 0
+        assert spec.rollbacks == 0
+        _assert_identical(run_monolithic(topo), spec)
+
+
+class TestKernelFiredLog:
+    def test_step_and_advance_log_distinct_timestamps(self):
+        sim = Simulator()
+        log = []
+        sim.set_fired_log(log)
+        for t in (100, 100, 250):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert log == [100, 250]
+        sim.advance_clock(900)
+        assert log == [100, 250, 900]
+
+    def test_rewind_validates_quiescence(self):
+        sim = Simulator()
+        sim.set_fired_log([])
+        sim.schedule_at(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimError):
+            sim.rewind_clock(200)  # forwards is not a rewind
+        sim.schedule_at(500, lambda: None)
+        sim.rewind_clock(50)       # pending work is all beyond target
+        assert sim.now == 50

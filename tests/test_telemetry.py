@@ -17,6 +17,7 @@ from repro.telemetry import PacketTracer, TelemetryConfig
 from repro.telemetry.export import (
     chrome_trace_events,
     format_timeline,
+    shard_window_counters,
     write_chrome_trace,
 )
 
@@ -368,3 +369,31 @@ class TestCli:
         assert "packet trace 0:" in printed
         doc = json.loads(out.read_text())
         assert doc["traceEvents"]
+
+
+class TestShardWindowCounters:
+    class _Result:
+        def __init__(self, window_log):
+            self.window_log = window_log
+
+    def test_counter_tracks_per_commit(self, tmp_path):
+        result = self._Result([(1000, 0, 0, 0), (5000, 2, 2, 150)])
+        events = shard_window_counters(result)
+        tracks = {e["name"] for e in events if e["ph"] == "C"}
+        assert tracks == {"sync_rounds", "dirty_shards", "rollbacks",
+                          "replayed_events"}
+        rollbacks = [e for e in events
+                     if e["ph"] == "C" and e["name"] == "rollbacks"]
+        assert [e["args"]["value"] for e in rollbacks] == [0, 2]
+        instants = [e for e in events if e["name"] == "window_commit"]
+        assert [e["args"]["commit_ps"] for e in instants] == [1000, 5000]
+        # All under one synthetic coordinator process, appendable to a
+        # merged rack trace.
+        assert len({e["pid"] for e in events}) == 1
+        out = tmp_path / "trace.json"
+        assert write_chrome_trace(str(out), {}, extra_events=events) \
+            == len(events)
+        assert json.loads(out.read_text())["traceEvents"] == events
+
+    def test_monolithic_results_emit_nothing(self):
+        assert shard_window_counters(self._Result([])) == []
