@@ -37,7 +37,12 @@ Usage::
     PYTHONPATH=src python benchmarks/chaos/run_chaos.py \
         --out BENCH_chaos.json [--seeds 0,1,2,3,4] [--nics 4] \
         [--frames 30] [--workers 2] [--pattern fanin] \
-        [--transports gbn,sr,gbn+ll] [--floor 0.95]
+        [--transports gbn,sr,gbn+ll] [--floor 0.95] [--trace-out trace.json]
+
+``--trace-out`` additionally reruns the first seed/config with
+telemetry enabled (same fault weather -- the plan regenerates from the
+seed) and writes the coordinator-merged Perfetto trace; the gated runs
+themselves stay telemetry-free.
 
 The same engine backs ``python -m repro chaos`` for interactive use.
 """
@@ -98,6 +103,10 @@ def main(argv=None) -> int:
                              "health monitor")
     parser.add_argument("--no-replay", action="store_true",
                         help="skip the third (replay determinism) run")
+    parser.add_argument("--trace-out", default=None,
+                        help="also write a merged Perfetto trace.json from "
+                             "a telemetry-enabled rerun of the first "
+                             "seed/config (the gated runs stay untraced)")
     args = parser.parse_args(argv)
 
     seeds = parse_seeds(args.seeds)
@@ -153,6 +162,16 @@ def main(argv=None) -> int:
         "chaos", dict(report["params"], replay=not args.no_replay),
         workloads, series,
     ))
+
+    if args.trace_out:
+        from repro.reliability.chaos import write_chaos_trace
+        count = write_chaos_trace(
+            args.trace_out, seeds[0], nics=args.nics, pattern=args.pattern,
+            frames=args.frames, workers=args.workers, config=configs[0],
+            failover=not args.no_failover,
+        )
+        print(f"wrote {count} trace events from seed {seeds[0]} "
+              f"[{configs[0]}] to {args.trace_out}")
 
     for config, summary in report["by_config"].items():
         print(f"[{config:>6}] goodput min/mean {summary['goodput_min']:.3f}"

@@ -31,7 +31,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf/run_kernel_bench.py \
         --out BENCH_kernel.json [--workloads a,b] [--frames N] \
         [--repeats K] [--floor benchmarks/perf/floor.json] \
-        [--profile N]
+        [--profile N] [--int-overhead]
 
 ``--floor`` compares each workload's ``events_per_sec`` (and, when the
 floor file lists them, ``events_per_sec_batched``) against a checked-in
@@ -45,6 +45,13 @@ order-of-magnitude regressions, not noise.
 under :mod:`cProfile` and embeds the top-``N`` functions by cumulative
 time in the output JSON under ``profiles`` -- the artifact to read when
 chasing where batched wall time goes.
+
+``--int-overhead`` additionally measures side-channel INT (armed
+sources/sinks, zero wire growth) against an INT-free run on a small
+monolithic fanin rack and -- with ``--floor`` -- gates the median paired
+overhead against ``int_overhead_max_frac`` (the documented armed-INT
+budget, looser than the 5% idle-telemetry gate because armed INT does
+real per-hop work).
 
 Output follows the versioned ``repro-bench/2`` envelope (see
 :mod:`bench_schema`): full per-workload detail under ``workloads``, and
@@ -208,8 +215,73 @@ def bench_telemetry_overhead(seed: int, frames: Optional[int],
     }
 
 
+def bench_int_overhead(seed: int, frames: Optional[int],
+                       repeats: int) -> dict:
+    """Side-channel INT overhead on a small monolithic fanin rack.
+
+    Measures ``IntConfig()`` (side-channel carriage -- the default,
+    observation-only mode) against ``int_=None`` on a 3-NIC incast:
+    unlike the idle-telemetry case, armed INT does real per-packet work
+    on every hop (state normalization at inject, an enqueue tap, a hop
+    record at transmit, the sink pop), so its budget is necessarily
+    looser than the 5% idle gate -- ``int_overhead_max_frac`` in
+    ``floor.json`` documents it.  Same methodology as
+    :func:`bench_telemetry_overhead`: paired off/on rounds, median of
+    per-round ratios, and a bit-identical-deliveries assertion (the
+    side channel must not perturb simulated results).
+    """
+    from repro.sim.clock import NS
+    from repro.sim.shard import run_monolithic
+    from repro.telemetry.config import IntConfig
+    from repro.workloads.rack import rack_topology
+
+    rack_frames = max(frames or 400, 240)
+
+    def topo(int_):
+        return rack_topology(
+            nics=3, pattern="fanin", frames=rack_frames,
+            gap_ps=1000 * NS, propagation_ps=8000 * NS, seed=seed,
+            int_=int_,
+        )
+
+    ratios = []
+    last_off = last_on = None
+    for _ in range(max(repeats, 9)):
+        off = run_monolithic(topo(None))
+        on = run_monolithic(topo(IntConfig()))
+        ratios.append(on.wall_seconds / off.wall_seconds)
+        last_off, last_on = off, on
+    def strip_int(report):
+        # The postcard list and the per-NIC stats()["int"] summary exist
+        # only on the armed side; everything else must be bit-identical.
+        out = {k: v for k, v in report.items() if k != "int"}
+        out["stats"] = {
+            k: v for k, v in report["stats"].items() if k != "int"}
+        return out
+
+    if ({n: strip_int(r) for n, r in last_on.reports.items()}
+            != {n: strip_int(r) for n, r in last_off.reports.items()}):
+        raise AssertionError(
+            "side-channel INT run diverged from the INT-off run -- "
+            "run tests/test_int.py"
+        )
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    postcards = sum(
+        len(report.get("int", ())) for report in last_on.reports.values())
+    return {
+        "workload": "rack_fanin_3nic",
+        "rounds": len(ratios),
+        "frames": rack_frames,
+        "postcards": postcards,
+        "ratio_spread": [round(ratios[0], 4), round(ratios[-1], 4)],
+        "overhead_frac": round(overhead, 4),
+    }
+
+
 def check_floor(results: dict, floor_path: str, tolerance: float,
-                telemetry: Optional[dict] = None) -> int:
+                telemetry: Optional[dict] = None,
+                int_overhead: Optional[dict] = None) -> int:
     with open(floor_path) as fh:
         floor = json.load(fh)
     failures = 0
@@ -233,6 +305,14 @@ def check_floor(results: dict, floor_path: str, tolerance: float,
               f"{max_overhead:.0%} -> {status}")
         if got > max_overhead:
             failures += 1
+    max_int = floor.get("int_overhead_max_frac")
+    if int_overhead is not None and max_int is not None:
+        got = int_overhead["overhead_frac"]
+        status = "ok" if got <= max_int else "REGRESSION"
+        print(f"floor check int_idle: {got:+.2%} overhead vs max "
+              f"{max_int:.0%} -> {status}")
+        if got > max_int:
+            failures += 1
     return failures
 
 
@@ -253,6 +333,10 @@ def main(argv=None) -> int:
                         help="also cProfile one batched run per workload "
                              "and embed the top-N functions by cumulative "
                              "time in the output JSON")
+    parser.add_argument("--int-overhead", action="store_true",
+                        help="also measure side-channel INT overhead on a "
+                             "small monolithic rack and gate it against "
+                             "floor.json's int_overhead_max_frac")
     args = parser.parse_args(argv)
 
     names = (list(WORKLOADS) if args.workloads == "all"
@@ -279,6 +363,15 @@ def main(argv=None) -> int:
         print(f"telemetry idle overhead: {telemetry['overhead_frac']:+.2%} "
               "wall (enabled-but-idle vs none)")
 
+    int_overhead = None
+    if args.int_overhead:
+        int_overhead = bench_int_overhead(
+            args.seed, args.frames, args.repeats)
+        print(f"INT side-channel overhead: "
+              f"{int_overhead['overhead_frac']:+.2%} wall "
+              f"({int_overhead['postcards']} postcards on the "
+              f"{int_overhead['frames']}-frame fanin rack)")
+
     series = [
         {"workload": name, "metric": metric, "value": results[name][metric]}
         for name in results
@@ -291,6 +384,10 @@ def main(argv=None) -> int:
         series.append({"workload": "telemetry_idle",
                        "metric": "overhead_frac",
                        "value": telemetry["overhead_frac"]})
+    if int_overhead is not None:
+        series.append({"workload": "int_idle",
+                       "metric": "overhead_frac",
+                       "value": int_overhead["overhead_frac"]})
     payload = envelope(
         bench="kernel_fast_path",
         params={"repeats": args.repeats, "seed": args.seed,
@@ -300,6 +397,8 @@ def main(argv=None) -> int:
     )
     if telemetry is not None:
         payload["telemetry_overhead"] = telemetry
+    if int_overhead is not None:
+        payload["int_overhead"] = int_overhead
     if args.profile:
         payload["profiles"] = {
             name: profile_workload(name, args.seed, args.frames,
@@ -310,7 +409,8 @@ def main(argv=None) -> int:
 
     if args.floor:
         failures = check_floor(results, args.floor, args.tolerance,
-                               telemetry=telemetry)
+                               telemetry=telemetry,
+                               int_overhead=int_overhead)
         if failures:
             print(f"{failures} workload(s) under the perf floor",
                   file=sys.stderr)

@@ -24,6 +24,11 @@ runs ``rack_incast_w{w}_spec``:
 ``rollbacks`` / ``replayed_events``
     Speculative only: checkpoints abandoned and events re-fired during
     deterministic replay.
+``capsules_replayed`` / ``rollback_wall_seconds``
+    Speculative only: duplicate cross-shard capsules the replays
+    re-emitted (and the barrier dropped), and wall seconds the woken
+    checkpoint parents spent replaying.  The per-round horizon
+    trajectory lands in the workload entry as ``horizon_history``.
 
 The monolithic baseline is workload ``rack_incast_mono``; with
 ``--batched``, a batch-execution (PR7 train lane) pair is recorded as
@@ -63,6 +68,14 @@ track (sync_rounds / rollbacks / replayed_events, see
 :func:`repro.telemetry.export.shard_window_counters`) as Chrome
 trace-event JSON (an artifact CI uploads).  The perf measurements above
 stay telemetry-free.
+
+``--profile N`` additionally runs the monolithic baseline and the
+largest worker count once per mode with the kernel's per-component
+wall-time profiler (:meth:`~repro.sim.kernel.Simulator.set_profile`)
+and embeds, under ``profiles``, the top-``N`` components by wall time
+plus each shard's busy seconds -- the artifact to read when chasing
+shard imbalance.  Profiled runs are separate (the perf_counter wrap
+would taint the speedup numbers) but equivalence-checked.
 """
 
 from __future__ import annotations
@@ -145,6 +158,12 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", default=None,
                         help="also write a merged telemetry trace.json "
                              "from a sharded telemetry-enabled run")
+    parser.add_argument("--profile", type=int, default=0, metavar="N",
+                        help="also run mono + the largest worker count once "
+                             "per mode with the kernel wall-time profiler "
+                             "and embed the top-N components per shard in "
+                             "the output JSON (perf numbers above stay "
+                             "unprofiled)")
     args = parser.parse_args(argv)
     worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
     modes = [m.strip() for m in args.modes.split(",") if m.strip()]
@@ -210,6 +229,10 @@ def main(argv=None) -> int:
                 "rollbacks": sharded.rollbacks,
                 "replayed_events": sharded.replayed_events,
                 "discarded_events": sharded.discarded_events,
+                "capsules_replayed": sharded.capsules_replayed,
+                "rollback_wall_seconds": round(
+                    sharded.rollback_wall_seconds, 6),
+                "horizon_history": list(sharded.horizon_history),
             }
             series += [
                 {"workload": key, "metric": "events_per_sec",
@@ -225,6 +248,10 @@ def main(argv=None) -> int:
                      "value": sharded.rollbacks},
                     {"workload": key, "metric": "replayed_events",
                      "value": sharded.replayed_events},
+                    {"workload": key, "metric": "capsules_replayed",
+                     "value": sharded.capsules_replayed},
+                    {"workload": key, "metric": "rollback_wall_seconds",
+                     "value": round(sharded.rollback_wall_seconds, 6)},
                 ]
             if workers == max_workers:
                 best_speedup_at_max = max(best_speedup_at_max, speedup)
@@ -293,6 +320,55 @@ def main(argv=None) -> int:
         print(f"wrote {count} merged trace events from the "
               f"{max_workers}-worker run to {args.trace_out}")
 
+    profiles = None
+    if args.profile:
+        # Separate profiled pass: the perf_counter wrap in the kernel
+        # disqualifies these walls from the speedup numbers above, but
+        # simulated results stay bit-identical (asserted).
+        profiles = {}
+
+        def profile_entry(result):
+            return {
+                "wall_seconds": round(result.wall_seconds, 4),
+                "top": [[round(sec, 6), calls, name]
+                        for sec, calls, name
+                        in (result.profile or [])[:args.profile]],
+                "shards": {
+                    str(shard): {
+                        "busy_seconds": round(entry["busy_seconds"], 4),
+                        "top": [[round(sec, 6), calls, name]
+                                for sec, calls, name
+                                in entry["profile"][:args.profile]],
+                    }
+                    for shard, entry in (result.shard_profiles or {}).items()
+                },
+            }
+
+        mono_p = run_monolithic(topo, profile=True)
+        _assert_equivalent(mono, mono_p, "profiled monolithic run")
+        profiles["rack_incast_mono"] = profile_entry(mono_p)
+        for mode in modes:
+            speculative = mode == "speculative"
+            sharded_p = run_sharded(topo, workers=max_workers,
+                                    speculative=speculative, profile=True)
+            _assert_equivalent(mono, sharded_p,
+                               f"profiled {max_workers}-worker {mode} run")
+            key = f"rack_incast_w{max_workers}" + (
+                "_spec" if speculative else "")
+            entry = profile_entry(sharded_p)
+            if speculative:
+                entry["rollback_wall_seconds"] = round(
+                    sharded_p.rollback_wall_seconds, 6)
+            profiles[key] = entry
+            busy = {s: e["busy_seconds"]
+                    for s, e in entry["shards"].items()}
+            spread = (max(busy.values()) - min(busy.values())
+                      if busy else 0.0)
+            print(f"profile {key}: per-shard busy seconds {busy} "
+                  f"(imbalance {spread:.3f}s)")
+            for sec, calls, name in entry["top"][:3]:
+                print(f"  {sec:8.4f}s {calls:>8} calls  {name}")
+
     payload = envelope(
         bench="rack_shard_parallel",
         params={
@@ -305,6 +381,8 @@ def main(argv=None) -> int:
         workloads=workloads,
         series=series,
     )
+    if profiles is not None:
+        payload["profiles"] = profiles
     write_json(args.out, payload)
 
     failed = 0

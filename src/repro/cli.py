@@ -10,6 +10,8 @@ Usage::
     python -m repro rack        # sharded rack-scale run vs monolithic
     python -m repro trace       # per-packet telemetry -> trace.json + timeline
     python -m repro chaos       # seeded chaos: lossy rack + invariant gate
+    python -m repro int-report  # in-band telemetry rack flight record
+    python -m repro bench-report  # BENCH_*.json vs floor.json summary
     python -m repro all         # everything above (except rack/trace/chaos)
 
 The heavier experiments (HOL blocking, isolation, ablations) live in
@@ -246,7 +248,8 @@ def cmd_trace(frames: int = 32, sample_every: int = 1,
 
 def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
               workers: int = 2, frames: int = 30, pattern: str = "fanin",
-              transport: str = "gbn", out: str = "") -> None:
+              transport: str = "gbn", out: str = "",
+              trace_out: str = "") -> None:
     """Break the rack on purpose: run seeded chaos cases on the reliable
     incast and gate on the delivery invariants (DESIGN.md section 12).
 
@@ -256,6 +259,11 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
     the per-seed goodput floor).  Exits non-zero if any invariant -- or
     the floor -- is violated, the same gate the CI ``chaos-smoke`` job
     runs via ``benchmarks/chaos/run_chaos.py``.
+
+    ``trace_out`` (``--trace-out``) additionally reruns the first seed
+    with telemetry enabled -- same fault weather, the plan regenerates
+    from the seed -- and writes the merged Perfetto trace there; the
+    gated runs themselves stay untraced.
     """
     import json
 
@@ -289,6 +297,14 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
         with open(out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote report to {out}")
+    if trace_out:
+        from repro.reliability.chaos import write_chaos_trace
+        count = write_chaos_trace(
+            trace_out, seed_list[0], nics=nics, pattern=pattern,
+            frames=frames, workers=workers, config=transport)
+        print(f"wrote {count} trace events from seed {seed_list[0]} "
+              f"[{transport}] to {trace_out} "
+              "(load it at https://ui.perfetto.dev)")
     if not report["passed"]:
         for case in report["cases"]:
             for violation in case["violations"]:
@@ -301,6 +317,159 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
         raise SystemExit("chaos goodput floor breached")
 
 
+def cmd_int_report(nics: int = 4, frames: int = 40, gap_ns: int = 2000,
+                   prop_ns: int = 500, pattern: str = "fanin",
+                   workers: int = 0, speculative: bool = False,
+                   inband: bool = False, burst_depth: int = 8,
+                   out: str = "", trace_out: str = "") -> None:
+    """Run a rack with INT sources/transits/sinks armed and print the
+    collector's flight record (DESIGN.md section 16): per-flow path
+    traces, per-hop latency breakdowns, queue-depth watermarks, path
+    changes, and microburst detections with the responsible flows named.
+
+    ``workers=0`` runs monolithically; any other value shards the rack
+    (the postcards are bit-identical either way -- that is the INT
+    contract).  ``inband=True`` carries the hop stack as real trailer
+    bytes that grow every frame on the wire instead of the zero-cost
+    side channel.  ``out`` writes the report JSON; ``trace_out`` writes
+    the collector's Perfetto counter/instant tracks.
+    """
+    import json
+
+    from repro.sim.clock import NS
+    from repro.sim.shard import run_monolithic, run_sharded
+    from repro.telemetry.config import IntConfig
+    from repro.telemetry.export import merge_int_reports
+    from repro.telemetry.int_ import IntCollector, format_int_report
+    from repro.workloads.rack import rack_topology
+
+    topo = rack_topology(
+        nics=nics, frames=frames, gap_ps=gap_ns * NS,
+        propagation_ps=prop_ns * NS, pattern=pattern,
+        int_=IntConfig(inband=inband),
+    )
+    carriage = "in-band trailers" if inband else "side-channel"
+    mode = (f"{workers}-worker sharded"
+            + (" (speculative)" if speculative else "")
+            if workers else "monolithic")
+    print(f"int-report: {nics}-NIC {pattern} rack, {frames} frames/flow, "
+          f"{carriage} INT, {mode}")
+    if workers:
+        result = run_sharded(topo, workers=workers, speculative=speculative)
+    else:
+        result = run_monolithic(topo)
+    merged = merge_int_reports(result.reports) or {}
+    collector = IntCollector(microburst_depth=burst_depth)
+    for sink in sorted(merged):
+        collector.ingest(sink, merged[sink])
+    report = collector.report()
+    print()
+    print(format_int_report(report))
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=list)
+        print(f"\nwrote report to {out}")
+    if trace_out:
+        from repro.telemetry.export import int_chrome_events, write_chrome_trace
+        count = write_chrome_trace(
+            trace_out, result.trace or {},
+            extra_events=int_chrome_events(collector))
+        print(f"wrote {count} trace events to {trace_out} "
+              "(load it at https://ui.perfetto.dev)")
+
+
+def cmd_bench_report(bench: Optional[List[str]] = None,
+                     floor: str = "benchmarks/perf/floor.json",
+                     tolerance: float = 0.30) -> None:
+    """One-screen regression summary: load ``BENCH_*.json`` envelopes,
+    diff every gated metric against the checked-in floor, and exit
+    non-zero on any regression.  CI runs this over its bench artifacts;
+    humans run it over a local ``BENCH_*.json`` glob.
+
+    Gates applied (matching the bench harnesses' own ``--floor`` logic):
+    throughput floors (``events_per_sec``, ``events_per_sec_batched``,
+    ``parallel_events_per_sec``) pass above ``(1 - tolerance) * floor``;
+    overhead caps (``telemetry_overhead_max_frac``,
+    ``int_overhead_max_frac``) and the chaos invariant/floor flags are
+    exact.  Ungated series are summarized, not judged.
+    """
+    import glob as globlib
+    import json
+
+    paths: List[str] = []
+    for pattern in bench or ["BENCH_*.json"]:
+        matches = sorted(globlib.glob(pattern))
+        paths.extend(matches if matches else [pattern])
+    try:
+        with open(floor) as fh:
+            floors = json.load(fh)
+    except FileNotFoundError:
+        floors = {}
+        print(f"note: no floor file at {floor}; nothing is gated")
+    rate_gates = {
+        "events_per_sec": floors.get("events_per_sec", {}),
+        "events_per_sec_batched": floors.get("events_per_sec_batched", {}),
+    }
+    parallel_gates = floors.get("parallel_events_per_sec", {})
+    overhead_gates = {
+        "telemetry_idle": floors.get("telemetry_overhead_max_frac"),
+        "int_idle": floors.get("int_overhead_max_frac"),
+    }
+    rows = []          # (status_ok, line)
+    ungated_points = 0
+    for path in paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (FileNotFoundError, ValueError) as exc:
+            rows.append((False, f"  {path}: unreadable ({exc})"))
+            continue
+        bench_name = payload.get("bench", "?")
+        series = payload.get("series", [])
+        print(f"{path}: bench {bench_name!r}, "
+              f"generated {payload.get('generated', '?')}, "
+              f"{len(payload.get('workloads', {}))} workloads, "
+              f"{len(series)} series points")
+        for point in series:
+            workload = point.get("workload")
+            metric = point.get("metric")
+            value = point.get("value")
+            bound = None
+            if metric in rate_gates and workload in rate_gates[metric]:
+                bound = rate_gates[metric][workload]
+            elif metric == "events_per_sec" and workload in parallel_gates:
+                bound = parallel_gates[workload]
+            if bound is not None:
+                allowed = bound * (1.0 - tolerance)
+                ok = value >= allowed
+                rows.append((ok, (
+                    f"  {workload} [{metric}]: {value:,.0f} vs floor "
+                    f"{bound:,.0f} (min {allowed:,.0f}) -> "
+                    + ("ok" if ok else "REGRESSION"))))
+            elif (metric == "overhead_frac"
+                    and overhead_gates.get(workload) is not None):
+                cap = overhead_gates[workload]
+                ok = value <= cap
+                rows.append((ok, (
+                    f"  {workload} [{metric}]: {value:+.2%} vs max "
+                    f"{cap:.0%} -> " + ("ok" if ok else "REGRESSION"))))
+            elif (workload == "chaos_batch"
+                    and metric in ("all_pass", "floor_ok")):
+                ok = bool(value)
+                rows.append((ok, (
+                    f"  chaos {metric}: "
+                    + ("ok" if ok else "VIOLATED"))))
+            else:
+                ungated_points += 1
+    for _ok, line in rows:
+        print(line)
+    failures = sum(1 for ok, _line in rows if not ok)
+    print(f"{len(rows)} gated checks, {failures} failing, "
+          f"{ungated_points} ungated series points")
+    if failures:
+        raise SystemExit(f"{failures} bench gate(s) failing")
+
+
 COMMANDS = {
     "table1": cmd_table1,
     "table2": cmd_table2,
@@ -310,6 +479,8 @@ COMMANDS = {
     "rack": cmd_rack,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "int-report": cmd_int_report,
+    "bench-report": cmd_bench_report,
 }
 
 
@@ -349,8 +520,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace = parser.add_argument_group("trace options (--frames applies too)")
     trace.add_argument("--sample-every", type=int, default=1,
                        help="trace 1 in N injected frames (0: predicate only)")
-    trace.add_argument("--trace-out", default="trace.json",
-                       help="Chrome trace-event JSON output path")
+    trace.add_argument("--trace-out", default=None,
+                       help="Chrome trace-event JSON output path "
+                            "(trace: default trace.json; chaos/int-report: "
+                            "off unless given)")
     trace.add_argument("--timeline", type=int, default=3,
                        help="packet timelines to print")
     chaos = parser.add_argument_group(
@@ -365,6 +538,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "repeat, or go-back-N + link-local repair")
     chaos.add_argument("--chaos-out", default="",
                        help="write the chaos report JSON here")
+    int_group = parser.add_argument_group(
+        "int-report options (--nics/--workers/--frames/--gap-ns/--prop-ns/"
+        "--pattern/--speculative/--trace-out apply too)")
+    int_group.add_argument("--inband", action="store_true",
+                           help="carry the INT hop stack as real in-band "
+                                "trailer bytes (frames grow on the wire) "
+                                "instead of the zero-cost side channel")
+    int_group.add_argument("--burst-depth", type=int, default=8,
+                           help="engine queue depth that counts as a "
+                                "microburst crossing")
+    int_group.add_argument("--int-out", default="",
+                           help="write the INT report JSON here")
+    bench_group = parser.add_argument_group("bench-report options")
+    bench_group.add_argument("--bench", action="append", default=None,
+                             metavar="GLOB",
+                             help="BENCH_*.json path or glob (repeatable; "
+                                  "default: BENCH_*.json)")
+    bench_group.add_argument("--bench-floor",
+                             default="benchmarks/perf/floor.json",
+                             help="floor JSON with the gated bounds")
+    bench_group.add_argument("--tolerance", type=float, default=0.30,
+                             help="allowed fraction under a throughput "
+                                  "floor before it counts as a regression")
     args = parser.parse_args(argv)
     if args.command == "all":
         # rack spawns worker processes and trace writes a file; keep
@@ -379,12 +575,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                  speculative=args.speculative, flow_id=args.flow_id)
     elif args.command == "trace":
         cmd_trace(frames=args.frames, sample_every=args.sample_every,
-                  timeline=args.timeline, out=args.trace_out)
+                  timeline=args.timeline,
+                  out=args.trace_out or "trace.json")
     elif args.command == "chaos":
         cmd_chaos(seeds=args.seeds, first_seed=args.first_seed,
                   nics=args.nics, workers=args.workers or 2,
                   frames=args.frames, pattern=args.pattern or "fanin",
-                  transport=args.transport, out=args.chaos_out)
+                  transport=args.transport, out=args.chaos_out,
+                  trace_out=args.trace_out or "")
+    elif args.command == "int-report":
+        cmd_int_report(nics=args.nics, frames=args.frames,
+                       gap_ns=args.gap_ns, prop_ns=args.prop_ns,
+                       pattern=args.pattern or "fanin",
+                       workers=args.workers, speculative=args.speculative,
+                       inband=args.inband, burst_depth=args.burst_depth,
+                       out=args.int_out, trace_out=args.trace_out or "")
+    elif args.command == "bench-report":
+        cmd_bench_report(bench=args.bench, floor=args.bench_floor,
+                         tolerance=args.tolerance)
     else:
         COMMANDS[args.command]()
     return 0

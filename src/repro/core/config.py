@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.sim.clock import MHZ, NS, US
-from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.config import IntConfig, TelemetryConfig
 
 #: Offload engines the builder knows how to instantiate.
 KNOWN_OFFLOADS = (
@@ -122,6 +122,14 @@ class PanicConfig:
     # paths then pay only a None check.  Observation-only either way --
     # stats() and timestamps are bit-identical with it on or off.
     telemetry: Optional[TelemetryConfig] = None
+
+    # In-band network telemetry (repro.telemetry.int_): the data plane
+    # stamps per-hop records into frames; sinks emit flow postcards.
+    # None (default) builds no INT agent.  Side-channel mode (the
+    # IntConfig default) is observation-only; inband=True grows frames
+    # with real trailer bytes, which *changes* wire timing (identically
+    # between execution modes).
+    int_: Optional[IntConfig] = None
 
     # Determinism.
     seed: int = 0

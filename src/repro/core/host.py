@@ -65,6 +65,9 @@ class Host(Component):
         self.software_latency = LatencyTracker(f"{name}.software_latency")
         # Set by repro.telemetry; None-checked on the RX-ring path only.
         self._tracer = None
+        # Set by repro.telemetry.int_: the INT sink that pops a frame's
+        # hop stack into a postcard when the frame reaches the RX ring.
+        self._int_sink = None
 
     # ------------------------------------------------------------------
     # Memory (what the DMA engine touches)
@@ -103,6 +106,10 @@ class Host(Component):
             if ctx is not None:
                 self._tracer.instant(ctx, "host", self.name, self.now,
                                      (("queue", queue),))
+        if self._int_sink is not None:
+            # Pops the INT stack into a postcard and strips the in-band
+            # trailer, so the ring holds the original frame bytes.
+            self._int_sink.on_host_deliver(packet, queue, self.now)
         self.rx_rings[queue].append(packet)
         self.rx_delivered.add()
 

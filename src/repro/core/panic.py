@@ -114,6 +114,24 @@ class PanicNic:
             from repro.telemetry import Telemetry
 
             self.telemetry = Telemetry(self)
+        #: In-band network telemetry agent (repro.telemetry.int_); None
+        #: keeps every hook on a single attribute check.
+        self.int_agent = None
+        icfg = self.config.int_
+        if icfg is not None and icfg.enabled:
+            from repro.telemetry.int_ import IntAgent
+
+            digits = "".join(c for c in name if c.isdigit())
+            self.int_agent = IntAgent(
+                self, icfg,
+                node_id=int(digits) if digits else 0,
+                rmt_names=[tile.name for tile in self.rmt_tiles],
+            )
+            for engine in self.engines.values():
+                engine._int_tap = self.int_agent
+            for eth in self.ports:
+                eth._int_agent = self.int_agent
+            self.host._int_sink = self.int_agent
         #: Batched-execution driver (repro.core.train); None keeps every
         #: hook on the scalar path at the cost of one attribute check.
         self.train_lane = None
@@ -326,6 +344,10 @@ class PanicNic:
             # wire and shard-boundary deliveries both funnel through
             # inject, so the sampled set is execution-mode independent.
             self.telemetry.tracer.maybe_trace(packet, self.sim.now, port)
+        if self.int_agent is not None:
+            # Normalize the carried INT stack (side-channel tuple or
+            # in-band trailer) before the frame pays RX serialization.
+            self.int_agent.on_inject(packet)
         return self.ports[port].inject_rx(packet)
 
     def on_transmit(self, callback: Callable[[Packet], None]) -> None:
@@ -423,4 +445,6 @@ class PanicNic:
         out["faults"] = faults
         if self.transport is not None:
             out["reliability"] = self.transport.stats()
+        if self.int_agent is not None:
+            out["int"] = self.int_agent.summary()
         return out

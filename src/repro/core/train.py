@@ -235,8 +235,10 @@ class TrainLane:
         if horizon is None:
             self.refusals += 1
             return False
-        if "__trace__" in packet.meta.annotations:
-            # Sampled telemetry must observe every intermediate span.
+        ann = packet.meta.annotations
+        if "__trace__" in ann or "__int__" in ann:
+            # Sampled telemetry must observe every intermediate span,
+            # and INT must observe genuine depths and egress instants.
             self.refusals += 1
             return False
         # Inlined _engine_ready(port, packet).
@@ -317,8 +319,10 @@ class TrainLane:
         """
         sim = self.sim
         meta = packet.meta
-        if "__trace__" in meta.annotations:
-            # Sampled telemetry must observe every intermediate span.
+        if ("__trace__" in meta.annotations
+                or "__int__" in meta.annotations):
+            # Sampled telemetry must observe every intermediate span,
+            # and INT must observe genuine depths and egress instants.
             self.refusals += 1
             return False
         # The arrival body below is a replay of the stock _rx_arrival;
@@ -584,7 +588,7 @@ class TrainLane:
                 packet = out_packet
                 ann = packet.meta.annotations
                 trail = None
-            if t_send >= h or "__trace__" in ann:
+            if t_send >= h or "__trace__" in ann or "__int__" in ann:
                 break
             path = expr_cache.get(ndest, _MISS)
             if path is _MISS:
@@ -803,7 +807,8 @@ class TrainLane:
         for message, _rank, _droppable in engine.queue.peek_batch():
             packet = message.packet
             if (packet.kind is _CONTROL
-                    or "__trace__" in packet.meta.annotations):
+                    or "__trace__" in packet.meta.annotations
+                    or "__int__" in packet.meta.annotations):
                 break
             header = packet.panic
             if header is None or header.exhausted:

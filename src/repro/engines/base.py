@@ -113,6 +113,10 @@ class Engine(Component, Endpoint):
     #: default None every instrumented path costs one attribute check.
     _train_lane = None
 
+    #: The NIC's :class:`~repro.telemetry.int_.IntAgent` when
+    #: ``PanicConfig.int_`` is on, else None (same zero-cost contract).
+    _int_tap = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -217,6 +221,9 @@ class Engine(Component, Endpoint):
             return
         rank, droppable = self._rank_of(message)
         message.packet.meta.annotations["enqueue_ps"] = self.now
+        if self._int_tap is not None:
+            # INT observes the same pre-push depth the tracer records.
+            self._int_tap.on_enqueue(self, message.packet, len(self.queue))
         if ctx is not None:
             # Queue depth *before* the push: what this packet saw on arrival.
             tracer.begin_engine(ctx, self.name, self.now, len(self.queue),

@@ -36,6 +36,11 @@ class EthernetPort(Engine):
         external sink).
     """
 
+    #: The NIC's :class:`~repro.telemetry.int_.IntAgent`, installed by
+    #: ``PanicNic`` when INT is configured: MAC egress is where a hop's
+    #: record is finalized (and, in-band, the trailer grows the frame).
+    _int_agent = None
+
     def __init__(
         self,
         sim: Simulator,
@@ -138,6 +143,11 @@ class EthernetPort(Engine):
         self._transmit(packet)
 
     def _transmit(self, packet: Packet) -> None:
+        if self._int_agent is not None:
+            # Push this hop's INT record; in-band mode appends the
+            # trailer bytes *before* the serialization window below, so
+            # the grown frame pays its own wire time.
+            self._int_agent.on_transmit(packet, self.now)
         start = max(self.now, self._tx_wire_free_ps)
         done = start + self.wire_time_ps(packet)
         self._tx_wire_free_ps = done

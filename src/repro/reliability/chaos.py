@@ -364,3 +364,45 @@ def run_chaos(
         "goodput_min": min(goodputs) if goodputs else 1.0,
         "goodput_mean": (sum(goodputs) / len(goodputs)) if goodputs else 1.0,
     }
+
+
+def write_chaos_trace(
+    path: str,
+    seed: int,
+    *,
+    nics: int = 4,
+    pattern: str = "fanin",
+    frames: int = 30,
+    workers: int = 2,
+    config: str = "gbn",
+    failover: bool = True,
+) -> int:
+    """Re-run one chaos case sharded with telemetry enabled and write
+    the coordinator-merged Perfetto trace to ``path``; returns the
+    trace-event count.
+
+    The gated invariant runs stay telemetry-free on purpose (the gate
+    measures the product, not the instrumentation); this separate
+    observability pass regenerates the *same* seeded fault weather, so
+    the trace shows exactly what the gated run survived: per-packet
+    spans across every NIC plus the shard-coordinator window-churn
+    counter track (:func:`repro.telemetry.export.shard_window_counters`).
+    """
+    from repro.sim.shard import run_sharded
+    from repro.telemetry import TelemetryConfig
+    from repro.telemetry.export import (
+        shard_window_counters,
+        write_chrome_trace,
+    )
+
+    transport, link_local = split_config(config)
+    topology = reliable_rack_topology(
+        nics=nics, pattern=pattern, frames=frames, seed=seed,
+        transport=transport, failover=failover,
+        telemetry=TelemetryConfig(),
+    )
+    plan = generate_chaos_plan(seed, nics, link_local=link_local)
+    result = run_sharded(topology, workers=workers, fault_plan=plan)
+    return write_chrome_trace(
+        path, result.trace or {},
+        extra_events=shard_window_counters(result))

@@ -33,6 +33,7 @@ from __future__ import annotations
 import heapq
 import sys
 from collections import deque
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.sim.clock import format_time
@@ -142,6 +143,11 @@ class Simulator:
         # one to detect execution past a commit point; None keeps the
         # hot path branch-free enough to be unmeasurable.
         self._fired_log: Optional[List[int]] = None
+        # Optional caller-owned wall-time attribution sink: component
+        # name -> [calls, seconds].  None (default) keeps the hot path
+        # on the inlined drain loop with zero profiling cost; a sink
+        # routes every event through step()'s perf_counter wrap.
+        self._profile: Optional[Dict[str, list]] = None
 
     # ------------------------------------------------------------------
     # Component registry
@@ -447,6 +453,32 @@ class Simulator:
         """
         self._fired_log = log
 
+    def set_profile(self, sink: Optional[Dict[str, list]]) -> None:
+        """Install (or remove, with ``None``) a wall-time profile sink.
+
+        While installed, every fired event is timed with
+        ``perf_counter`` and attributed to the component that handled it
+        (the bound method's owner, falling back to the callback's
+        qualname): ``sink[name] = [calls, seconds]``, accumulated in
+        place.  The caller owns the dict.  Wall times are measurements
+        of *this* process, not simulated state -- they are
+        nondeterministic and must never feed reports that are compared
+        across execution modes.  Simulated results are bit-identical
+        with a sink installed or not (the sink only reroutes ``run()``
+        off the inlined drain loop, which preserves firing order).
+        """
+        self._profile = sink
+
+    def profile_report(self) -> List[tuple]:
+        """The installed sink as ``(seconds, calls, name)`` rows, most
+        expensive first; empty when no sink is installed."""
+        if not self._profile:
+            return []
+        return sorted(
+            ((cell[1], cell[0], name)
+             for name, cell in self._profile.items()),
+            reverse=True)
+
     def rewind_clock(self, when_ps: int) -> None:
         """Move ``now`` *backward* to a quiescent instant.
 
@@ -488,7 +520,23 @@ class Simulator:
             log.append(when)
         fn = event.fn
         args = event.args
-        fn(*args)
+        profile = self._profile
+        if profile is None:
+            fn(*args)
+        else:
+            t0 = _perf_counter()
+            fn(*args)
+            elapsed = _perf_counter() - t0
+            try:
+                key = fn.__self__.name
+            except AttributeError:
+                key = getattr(fn, "__qualname__", repr(fn))
+            cell = profile.get(key)
+            if cell is None:
+                profile[key] = [1, elapsed]
+            else:
+                cell[0] += 1
+                cell[1] += elapsed
         # Recycle the Event unless the caller kept the schedule() handle
         # (refcount: this local + getrefcount's argument).
         if len(self._pool) < _POOL_MAX and sys.getrefcount(event) == 2:
@@ -538,7 +586,8 @@ class Simulator:
             # sealed once run() is entered.
             self._drain_deferred()
         if (until_ps is None and max_events is None
-                and not self._after_hooks and self._fired_log is None):
+                and not self._after_hooks and self._fired_log is None
+                and self._profile is None):
             # No deadline, no budget, no observers: drain with the
             # pop/fire machinery of step()/_pop_next() inlined -- two call
             # levels per event is measurable at this volume.  ``_compact``

@@ -169,6 +169,38 @@ class ShardRunResult:
     #: ``(window_end + 1, 0, 0, 0)``.  Feeds the Perfetto counter track
     #: (:func:`repro.telemetry.export.shard_window_counters`).
     window_log: List[Tuple[int, int, int, int]] = field(default_factory=list)
+    #: Speculation cost profile (speculative runs only): duplicate
+    #: cross-shard capsules re-emitted and discarded during deterministic
+    #: replays, wall seconds the woken parents spent replaying, and the
+    #: horizon (in lookaheads) each round speculated under -- the
+    #: adaptation trajectory, one entry per round.
+    capsules_replayed: int = 0
+    rollback_wall_seconds: float = 0.0
+    horizon_history: Tuple[int, ...] = ()
+    #: Wall-time attribution (``profile=True`` runs only): merged
+    #: ``(seconds, calls, component)`` rows, most expensive first, plus
+    #: the per-shard breakdown ``{shard: {"busy_seconds", "profile"}}``
+    #: where ``busy_seconds`` is time spent inside ``sim.run`` windows
+    #: (barrier waits excluded, so imbalance is visible).  Wall times are
+    #: measurements of this host, not simulated state -- nondeterministic,
+    #: never part of mode-compared reports.
+    profile: Optional[List[tuple]] = None
+    shard_profiles: Optional[Dict[int, dict]] = None
+
+
+def _merge_profile_rows(rows_per_shard) -> List[tuple]:
+    """Sum per-shard ``(seconds, calls, name)`` profile rows into one
+    report (component names are NIC-prefixed, so cross-shard collisions
+    only happen for genuinely shared names like qualname fallbacks)."""
+    merged: Dict[str, list] = {}
+    for rows in rows_per_shard:
+        for seconds, calls, name in rows:
+            cell = merged.setdefault(name, [0, 0.0])
+            cell[0] += calls
+            cell[1] += seconds
+    return sorted(
+        ((cell[1], cell[0], name) for name, cell in merged.items()),
+        reverse=True)
 
 
 def _mp_context():
@@ -188,6 +220,7 @@ def _mp_context():
 def run_monolithic(
     topology: RackTopology,
     fault_plan=None,
+    profile: bool = False,
 ) -> ShardRunResult:
     """Run the whole topology in this process: the reference semantics
     every sharded run must reproduce bit-for-bit.
@@ -195,6 +228,10 @@ def run_monolithic(
     ``fault_plan`` is an optional rack-scoped
     :class:`~repro.faults.plan.FaultPlan` (targets ``"<nic>:<target>"``
     and ``"wire_<i>_<j>"``) armed through :mod:`repro.faults.rack`.
+    ``profile=True`` installs the kernel's per-component wall-time sink
+    (:meth:`~repro.sim.kernel.Simulator.set_profile`) and surfaces the
+    attribution rows in ``result.profile`` -- simulated results stay
+    bit-identical, only this process's wall time is measured.
     """
     from repro.faults.rack import (
         arm_rack_faults, wire_direction_label, wire_ends,
@@ -203,6 +240,8 @@ def run_monolithic(
 
     t0 = time.perf_counter()
     sim = Simulator()
+    if profile:
+        sim.set_profile({})
     nics: Dict[str, Any] = {}
     reports: Dict[str, Callable[[], dict]] = {}
     for spec in topology.nics:
@@ -242,6 +281,11 @@ def run_monolithic(
         final_ps={name: sim.now for name in nics},
         trace=merge_trace_reports(gathered),
         wire_stats=wire_stats,
+        profile=sim.profile_report() if profile else None,
+        shard_profiles=(
+            {0: {"busy_seconds": wall, "profile": sim.profile_report()}}
+            if profile else None
+        ),
     )
 
 
@@ -336,6 +380,7 @@ def _shard_worker_main(
     assignment: Dict[str, int],
     window_budget: Optional[int],
     fault_plan=None,
+    profile: bool = False,
 ) -> None:
     """Entry point of one shard process.
 
@@ -347,7 +392,10 @@ def _shard_worker_main(
       replies ``("done", next_ps, fired, outbox)`` with ``outbox`` keyed
       by *destination* boundary.
     * <- ``("finish",)``; replies
-      ``("reports", {nic: report}, now_ps, wire_stats)``.
+      ``("reports", {nic: report}, now_ps, wire_stats, profile_rows,
+      busy_seconds)`` where the last two carry the kernel's wall-time
+      attribution and the time this worker spent inside ``sim.run``
+      windows (both zero/empty unless ``profile``).
     * Budget exhaustion replies ``("deadlock", summary)``; any other
       failure replies ``("error", traceback)``.
     """
@@ -356,6 +404,9 @@ def _shard_worker_main(
         nics, reports, boundaries, wires = _build_shard(
             sim, shard, topology, assignment, fault_plan
         )
+        if profile:
+            sim.set_profile({})
+        busy = 0.0
 
         conn.send(("ready", sim.next_event_ps()))
 
@@ -367,6 +418,8 @@ def _shard_worker_main(
                     {name: report() for name, report in reports.items()},
                     sim.now,
                     _shard_wire_stats(wires, boundaries),
+                    sim.profile_report(),
+                    busy,
                 ))
                 return
             if message[0] != "run":  # pragma: no cover - protocol misuse
@@ -374,6 +427,7 @@ def _shard_worker_main(
             _, until_ps, ingress = message
             for key, capsules in ingress:
                 boundaries[key].schedule_deliveries(capsules)
+            window_t0 = time.perf_counter()
             try:
                 # Batched execution (repro.core.train) needs no shard
                 # awareness: run(until_ps=...) sets the kernel's
@@ -391,6 +445,7 @@ def _shard_worker_main(
                     f"{exc}\n{_shard_pending_detail(nics)}",
                 ))
                 return
+            busy += time.perf_counter() - window_t0
             outbox = [
                 ((index, _OTHER_END[end]), batch)
                 for (index, end), boundary in boundaries.items()
@@ -463,6 +518,7 @@ def _spec_worker_main(
     assignment: Dict[str, int],
     window_budget: Optional[int],
     fault_plan=None,
+    profile: bool = False,
 ) -> None:
     """Entry point of one speculative shard process.
 
@@ -481,19 +537,29 @@ def _spec_worker_main(
     * <- ``("finish", commit_ps)``: resolve (necessarily clean -- the
       coordinator only finishes after a round with no new cross-shard
       capsules), then reply ``("reports", {nic: report}, now_ps,
-      wire_stats, counters, events_fired)``.  ``events_fired`` counts
-      the surviving process lineage only, i.e. each committed event
-      exactly once.
+      wire_stats, counters, events_fired, profile_rows, busy_seconds)``.
+      ``events_fired`` counts the surviving process lineage only, i.e.
+      each committed event exactly once; the last two mirror the
+      conservative worker's profile payload.
     """
     try:
         sim = Simulator()
         nics, reports, boundaries, wires = _build_shard(
             sim, shard, topology, assignment, fault_plan
         )
+        if profile:
+            sim.set_profile({})
+        busy = 0.0
         fired_log: List[int] = []
         sim.set_fired_log(fired_log)
+        # Cumulative speculation counters.  Copy-on-write keeps these
+        # lineage-consistent: a child that commits carries its increments
+        # forward; a child that rolls back dies and the woken parent's
+        # pre-fork copy resumes, so only surviving work is ever counted
+        # (the parent itself adds the rollback costs below).
         counters = {
             "rollbacks": 0, "replayed_events": 0, "discarded_events": 0,
+            "capsules_replayed": 0, "rollback_wall_seconds": 0.0,
         }
         verdict_fd: Optional[int] = None  # pipe to the frozen checkpoint
         spec_fired = 0  # events fired by this process's last speculation
@@ -528,6 +594,8 @@ def _spec_worker_main(
                     _shard_wire_stats(wires, boundaries),
                     dict(counters),
                     sim.events_fired,
+                    sim.profile_report(),
+                    busy,
                 ))
                 return
             if kind != "spec":  # pragma: no cover - protocol misuse
@@ -553,6 +621,7 @@ def _spec_worker_main(
                 counters["rollbacks"] += 1
                 counters["discarded_events"] += dirty_fired
                 del fired_log[:]
+                replay_t0 = time.perf_counter()
                 try:
                     counters["replayed_events"] += sim.run(
                         until_ps=message[1] - 1,
@@ -565,11 +634,19 @@ def _spec_worker_main(
                     ))
                     return
                 for boundary in boundaries.values():
-                    boundary.take_outbox()
+                    # Duplicates of capsules the coordinator already
+                    # holds -- drop them, but count the re-serialization
+                    # work the rollback forced.
+                    counters["capsules_replayed"] += len(
+                        boundary.take_outbox())
+                replay_elapsed = time.perf_counter() - replay_t0
+                counters["rollback_wall_seconds"] += replay_elapsed
+                busy += replay_elapsed
                 continue
             # Child: speculate past the horizon.
             verdict_fd = child_fd
             del fired_log[:]
+            window_t0 = time.perf_counter()
             try:
                 spec_fired = sim.run(
                     until_ps=until_ps,
@@ -581,6 +658,7 @@ def _spec_worker_main(
                     "deadlock", f"{exc}\n{_shard_pending_detail(nics)}",
                 ))
                 return
+            busy += time.perf_counter() - window_t0
             outbox = [
                 ((index, _OTHER_END[end]), batch)
                 for (index, end), boundary in boundaries.items()
@@ -615,6 +693,7 @@ def run_sharded(
     fault_plan=None,
     speculative: bool = False,
     spec_horizon: int = DEFAULT_SPEC_HORIZON,
+    profile: bool = False,
 ) -> ShardRunResult:
     """Run ``topology`` partitioned across ``workers`` processes.
 
@@ -639,6 +718,11 @@ def run_sharded(
     When the topology has no cross-shard wires there is nothing to
     speculate past, so the conservative single-window path runs instead
     (the result still reports ``speculative=True`` with zero counters).
+
+    ``profile=True`` installs each worker's kernel wall-time sink and
+    gathers the merged attribution plus per-shard busy seconds into
+    ``result.profile`` / ``result.shard_profiles`` (nondeterministic
+    wall measurements; simulated results are unaffected).
     """
     assignment = topology.assign_shards(workers)
     lookahead = topology.lookahead_ps(assignment)
@@ -668,7 +752,7 @@ def run_sharded(
             proc = ctx.Process(
                 target=_spec_worker_main if spec_live else _shard_worker_main,
                 args=(child, shard, topology, assignment,
-                      window_event_budget, fault_plan),
+                      window_event_budget, fault_plan, profile),
                 name=f"repro-shard-{shard}",
                 daemon=True,
             )
@@ -699,6 +783,9 @@ def run_sharded(
         rounds = 0
         window_log: List[Tuple[int, int, int, int]] = []
         rollbacks = replayed = discarded = 0
+        capsules_replayed = 0
+        rollback_wall = 0.0
+        horizon_history: List[int] = []
 
         if spec_live:
             commit_ps: Optional[int] = None
@@ -715,6 +802,7 @@ def run_sharded(
                     break
                 until = min(candidates) + horizon * lookahead - 1
                 rounds += 1
+                horizon_history.append(horizon)
                 # At horizon 1 every new arrival lands at or beyond
                 # until + 1, so the round provably commits whole: skip
                 # the checkpoint fork, the round degenerates to a
@@ -824,7 +912,10 @@ def run_sharded(
             )
         if spec_live:
             rollbacks = replayed = discarded = 0
+            capsules_replayed = 0
+            rollback_wall = 0.0
             total_fired = 0
+        shard_profiles: Dict[int, dict] = {}
         for shard in range(workers):
             reply = expect(shard, "reports")
             shard_reports, now_ps, shard_wires = reply[1], reply[2], reply[3]
@@ -833,10 +924,19 @@ def run_sharded(
                 rollbacks += ctrs["rollbacks"]
                 replayed += ctrs["replayed_events"]
                 discarded += ctrs["discarded_events"]
+                capsules_replayed += ctrs["capsules_replayed"]
+                rollback_wall += ctrs["rollback_wall_seconds"]
                 # The surviving lineage fired each committed event
                 # exactly once; per-round sums would double-count
                 # rolled-back work.
                 total_fired += lineage_fired
+                profile_rows, busy = reply[6], reply[7]
+            else:
+                profile_rows, busy = reply[4], reply[5]
+            if profile:
+                shard_profiles[shard] = {
+                    "busy_seconds": busy, "profile": profile_rows,
+                }
             reports.update(shard_reports)
             wire_stats.update(shard_wires)
             for name in shard_reports:
@@ -863,6 +963,15 @@ def run_sharded(
             replayed_events=replayed,
             discarded_events=discarded,
             window_log=window_log,
+            capsules_replayed=capsules_replayed,
+            rollback_wall_seconds=rollback_wall,
+            horizon_history=tuple(horizon_history),
+            profile=(
+                _merge_profile_rows(
+                    entry["profile"] for entry in shard_profiles.values()
+                ) if profile else None
+            ),
+            shard_profiles=shard_profiles if profile else None,
         )
     finally:
         for proc in procs:

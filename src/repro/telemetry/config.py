@@ -64,3 +64,51 @@ class TelemetryConfig:
             raise ValueError(
                 f"probe_max_samples must be positive, got {self.probe_max_samples}"
             )
+
+
+@dataclass
+class IntConfig:
+    """Knobs for in-band network telemetry (``repro.telemetry.int_``).
+
+    Attaching an ``IntConfig`` to ``PanicConfig.int_`` makes the NIC an
+    INT node: every Ethernet frame traversing it accumulates one per-hop
+    metadata record (ingress/egress timestamps, PIFO depth at enqueue,
+    max engine queue depth, NIC id, chain hop), and frames terminating at
+    the host pop the accumulated stack into a flow "postcard".
+
+    ``inband=False`` (the default) carries the stack in a metadata
+    side-channel: the frame bytes are untouched and the simulated
+    timeline is bit-identical to an INT-free run.  ``inband=True``
+    carries the stack as real payload bytes -- a trailer appended after
+    the UDP datagram at MAC egress -- so frame growth is *felt*: wire
+    occupancy, egress/ingress serialization time, and NoC transfer cost
+    all grow with hop count, and the trailer carries its own internet
+    checksum.  Either way the postcard stream is bit-identical between
+    monolithic and sharded execution at any worker count.
+    """
+
+    #: Master switch; ``enabled=False`` behaves exactly like carrying no
+    #: IntConfig at all (no agent is built, no hooks installed).
+    enabled: bool = True
+
+    #: Carry hop records as real payload bytes (a checksummed trailer
+    #: appended at MAC egress, stripped at the sink host) instead of the
+    #: zero-cost metadata side-channel.
+    inband: bool = False
+
+    #: Bound on the per-packet hop stack.  Hops beyond this stop pushing
+    #: records (the sink still counts the overflow), so an in-band frame
+    #: can never grow without bound on a forwarding loop.
+    max_hops: int = 8
+
+    #: Bound on retained postcards per sink NIC; later deliveries are
+    #: counted in ``IntAgent.dropped_postcards`` instead of stored.
+    max_postcards: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_hops <= 0:
+            raise ValueError(f"max_hops must be positive, got {self.max_hops}")
+        if self.max_postcards <= 0:
+            raise ValueError(
+                f"max_postcards must be positive, got {self.max_postcards}"
+            )

@@ -134,6 +134,68 @@ def shard_window_counters(result, pid: int = _COORDINATOR_PID) -> List[dict]:
     return events
 
 
+#: Synthetic Chrome-trace pid for the rack-level INT collector tracks.
+_INT_COLLECTOR_PID = 20_000
+
+
+def int_chrome_events(collector, pid: int = _INT_COLLECTOR_PID) -> List[dict]:
+    """Chrome trace events for a rack's INT flight record.
+
+    One synthetic ``int-collector`` process: per-node counter ("C")
+    tracks for engine queue depth and hop latency (one point per hop
+    record, stamped at the hop's ingress/egress), plus an instant per
+    detected microburst naming the responsible flows.  Feed the result
+    to :func:`write_chrome_trace` via ``extra_events``.
+    """
+    if not collector.postcards:
+        return []
+    events: List[dict] = [{
+        "ph": "M", "pid": pid, "name": "process_name",
+        "args": {"name": "int-collector"},
+    }]
+    for node in sorted(collector.depth_series):
+        depth = collector.depth_series[node]
+        latency = collector.latency_series[node]
+        for t_ps, value in depth.items():
+            events.append({
+                "ph": "C", "pid": pid, "name": depth.name,
+                "ts": t_ps / _PS_PER_US, "args": {"value": value},
+            })
+        for t_ps, value in latency.items():
+            events.append({
+                "ph": "C", "pid": pid, "name": latency.name,
+                "ts": t_ps / _PS_PER_US,
+                "args": {"value": value / 1000},  # ps -> ns
+            })
+    for burst in collector.microbursts():
+        events.append({
+            "ph": "i", "pid": pid, "tid": 0, "name": "microburst",
+            "cat": "instant", "s": "p",
+            "ts": burst["start_ps"] / _PS_PER_US,
+            "args": {"node": burst["node"],
+                     "peak_depth": burst["peak_depth"],
+                     "events": burst["events"],
+                     "window_us": ((burst["end_ps"] - burst["start_ps"])
+                                   / _PS_PER_US),
+                     "flows": burst["flows"]},
+        })
+    return events
+
+
+def merge_int_reports(reports: Dict[str, dict]):
+    """Build an :class:`~repro.telemetry.int_.IntCollector`-ready
+    mapping ``{sink_nic: postcards}`` out of rack ``report()`` dicts;
+    ``None`` when no NIC ran INT.  Postcards are sink-local and sorted,
+    so the sharded merge is the same keyed collection as the monolithic
+    one (the mono==sharded INT contract rides on this)."""
+    merged = {
+        name: list(report["int"])
+        for name, report in reports.items()
+        if isinstance(report, dict) and "int" in report
+    }
+    return merged or None
+
+
 def write_chrome_trace(
     path: str,
     spans_by_nic: Dict[str, Sequence],

@@ -129,6 +129,7 @@ def build_rack_nic(
     telemetry=None,
     batch: bool = False,
     flow_id: str = "auto",
+    int_=None,
 ) -> Tuple[PanicNic, Callable[[], dict]]:
     """Build rack node ``index`` of ``n_nics``: a PANIC NIC with one port
     per peer, TX routes steering each flow's identity class (DSCP or
@@ -138,7 +139,11 @@ def build_rack_nic(
     Returns ``(nic, report)`` where ``report()`` yields a picklable dict:
     ``stats`` (the NIC's stats tree), ``deliveries`` (sorted
     ``(src, seq, arrival_ps, queue)`` tuples) and ``sent``; with
-    ``telemetry`` set, also ``trace`` (the NIC's canonical span list).
+    ``telemetry`` set, also ``trace`` (the NIC's canonical span list)
+    and ``trace_summary`` (ring-buffer accounting incl. dropped spans);
+    with ``int_`` (an :class:`~repro.telemetry.config.IntConfig`) set,
+    also ``int`` (the sink's sorted postcard list -- feed it to an
+    :class:`~repro.telemetry.int_.IntCollector`).
     """
     if pattern not in ("symmetric", "fanin"):
         raise ValueError(f"unknown rack pattern {pattern!r}")
@@ -154,6 +159,7 @@ def build_rack_nic(
         batch_execution=batch,
         mesh_width=mesh_side,
         mesh_height=mesh_side,
+        int_=int_,
     )
     nic = PanicNic(sim, config, name=name)
 
@@ -237,6 +243,12 @@ def build_rack_nic(
         }
         if nic.telemetry is not None:
             rep["trace"] = nic.telemetry.trace_report()
+            # seen/sampled/spans/dropped_spans are simulated-state
+            # counters, so the ring-buffer overflow accounting is part
+            # of the mono==sharded bit-identity contract.
+            rep["trace_summary"] = nic.telemetry.summary()
+        if nic.int_agent is not None:
+            rep["int"] = nic.int_agent.postcards()
         return rep
 
     return nic, report
@@ -254,6 +266,7 @@ def rack_topology(
     telemetry=None,
     batch: bool = False,
     flow_id: str = "auto",
+    int_=None,
 ) -> RackTopology:
     """An all-pairs-cabled rack of ``nics`` PANIC NICs running the given
     traffic pattern.  Every unordered pair gets one full-duplex cable;
@@ -277,6 +290,7 @@ def rack_topology(
                 "telemetry": telemetry,
                 "batch": batch,
                 "flow_id": flow_id,
+                "int_": int_,
             },
         )
         for i in range(nics)

@@ -171,10 +171,16 @@ def _refresh_packet(
     tenant: Optional[int],
     request_ctx: Any,
     e2e_t0: Any,
+    int_state: Any = None,
 ) -> Packet:
     """A frame entering a new NIC is a new packet life: fresh metadata,
     same bytes.  Shared by :class:`Wire` and :class:`ShardBoundary` so
-    both execution modes hand the receiving NIC an identical packet."""
+    both execution modes hand the receiving NIC an identical packet.
+
+    ``int_state`` is the side-channel INT hop stack (a plain tuple of
+    records, see :mod:`repro.telemetry.int_`); the receiving NIC's
+    ``inject`` normalizes it into live per-packet state.  In-band INT
+    stacks travel inside ``data`` and need no side-channel."""
     fresh = Packet(data, kind)
     fresh.meta.created_ps = created_ps
     fresh.meta.tenant = tenant
@@ -182,6 +188,8 @@ def _refresh_packet(
         fresh.meta.annotations["request_ctx"] = request_ctx
     if e2e_t0 is not None:
         fresh.meta.annotations["e2e_t0"] = e2e_t0
+    if int_state is not None:
+        fresh.meta.annotations["__int__"] = int_state
     return fresh
 
 
@@ -287,6 +295,7 @@ class Wire(Component):
                 meta.tenant,
                 meta.annotations.get("request_ctx"),
                 meta.annotations.get("e2e_t0"),
+                getattr(meta.annotations.get("__int__"), "carry", None),
             ),
         )
 
@@ -307,6 +316,9 @@ class PacketCapsule:
 
     ``request_ctx`` and ``e2e_t0`` mirror the annotations a monolithic
     :class:`Wire` preserves; in a sharded run they must be picklable.
+    ``int_state`` carries the side-channel INT hop stack (a plain tuple
+    of record tuples -- picklable by construction); in-band INT stacks
+    ride inside ``data`` instead.
     """
 
     data: bytes
@@ -317,6 +329,7 @@ class PacketCapsule:
     tenant: Optional[int] = None
     request_ctx: Any = None
     e2e_t0: Any = None
+    int_state: Any = None
 
 
 class ShardBoundary(Component):
@@ -419,6 +432,8 @@ class ShardBoundary(Component):
             tenant=meta.tenant,
             request_ctx=meta.annotations.get("request_ctx"),
             e2e_t0=meta.annotations.get("e2e_t0"),
+            int_state=getattr(meta.annotations.get("__int__"), "carry",
+                              None),
         ))
         self._tx_seq += 1
         self.tx_captured.add()
@@ -452,6 +467,7 @@ class ShardBoundary(Component):
                 capsule.tenant,
                 capsule.request_ctx,
                 capsule.e2e_t0,
+                capsule.int_state,
             ),
             self.port,
         )

@@ -48,3 +48,70 @@ class TestCli:
         assert "monolithic" in out
         assert "sharded" in out
         assert "speedup" in out
+
+
+class TestIntReportCli:
+    def test_incast_flight_record(self, capsys, tmp_path):
+        out_json = tmp_path / "int_report.json"
+        trace = tmp_path / "int_trace.json"
+        assert main(["int-report", "--nics", "4", "--frames", "20",
+                     "--gap-ns", "200", "--workers", "2",
+                     "--int-out", str(out_json),
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "INT flight record" in out
+        assert "nic1->nic0" in out
+        assert "microburst" in out.lower()
+        assert "bit-identical" not in out  # mono-vs-sharded runs silently
+        import json
+        report = json.loads(out_json.read_text())
+        assert report["postcards"] == 60
+        assert report["microbursts"]
+        events = json.loads(trace.read_text())
+        assert any(ev.get("name") == "microburst"
+                   for ev in events["traceEvents"])
+
+    def test_inband_monolithic(self, capsys):
+        assert main(["int-report", "--nics", "3", "--frames", "4",
+                     "--inband"]) == 0
+        out = capsys.readouterr().out
+        assert "in-band" in out
+        assert "INT flight record" in out
+
+
+class TestBenchReportCli:
+    def _fake_bench(self, tmp_path, eps):
+        import json
+        payload = {
+            "schema": "repro-bench/2", "bench": "kernel",
+            "generated": "2026-01-01T00:00:00Z",
+            "workloads": {"isolation": {}},
+            "series": [
+                {"workload": "isolation", "metric": "events_per_sec",
+                 "value": eps},
+                {"workload": "telemetry_idle", "metric": "overhead_frac",
+                 "value": 0.01},
+                {"workload": "int_idle", "metric": "overhead_frac",
+                 "value": 0.10},
+                {"workload": "isolation", "metric": "wall_seconds",
+                 "value": 1.5},
+            ],
+        }
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_passing_summary(self, capsys, tmp_path):
+        path = self._fake_bench(tmp_path, eps=50000)
+        assert main(["bench-report", "--bench", path]) == 0
+        out = capsys.readouterr().out
+        assert "gated checks, 0 failing" in out
+        assert "isolation [events_per_sec]" in out
+        assert "-> ok" in out
+
+    def test_regression_fails(self, capsys, tmp_path):
+        path = self._fake_bench(tmp_path, eps=100)  # way below floor
+        with pytest.raises(SystemExit):
+            main(["bench-report", "--bench", path])
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
