@@ -14,16 +14,20 @@ DESIGN.md section 12:
 4. mono == sharded bit-identical reports and wire stats,
 5. replay-from-seed determinism.
 
-Transport configs (``--transports``, comma list): ``gbn`` (go-back-N,
-fixed RTO), ``sr`` (selective repeat with SACK + adaptive RTO), and
-``gbn+ll`` (go-back-N with link-local repair armed on every wire).  The
-same seed faces the same fault weather under each config, so the
-per-config summaries are a controlled recovery-strategy comparison.
+Configs (``--transports``, comma list): ``gbn`` (go-back-N, fixed RTO),
+``sr`` (selective repeat with SACK + adaptive RTO), ``gbn+ll``/``sr+ll``
+(either transport with link-local repair armed on every wire), and
+``lb`` (the load-balanced rack: live drains and backend NIC crashes
+under the VIP, gated on the affinity and zero-committed-loss
+invariants).  The same seed faces the same fault weather under each
+transport config, so the per-config summaries are a controlled
+recovery-strategy comparison.
 
-Link-local configs additionally gate on a **per-seed goodput floor**
-(``--floor``; default from ``floor.json`` next to this script): sub-RTT
-repair plus checksum-lane failover must hold every seed at or above the
-floor, and a dip is a CI failure even though it breaks no invariant.
+Goodput gates are **per config**: ``floor.json`` next to this script
+maps each gated config to its per-seed floor (configs absent from the
+map are ungated), and a dip is a CI failure even though it breaks no
+invariant.  ``--floor`` overrides the whole map with one float applied
+to link-local configs only (the legacy knob).
 
 Writes ``BENCH_chaos.json`` in the stable ``repro-bench/2`` envelope.
 Series metrics per seed and config (workload key
@@ -37,7 +41,8 @@ Usage::
     PYTHONPATH=src python benchmarks/chaos/run_chaos.py \
         --out BENCH_chaos.json [--seeds 0,1,2,3,4] [--nics 4] \
         [--frames 30] [--workers 2] [--pattern fanin] \
-        [--transports gbn,sr,gbn+ll] [--floor 0.95] [--trace-out trace.json]
+        [--transports gbn,sr,gbn+ll,sr+ll,lb] [--speculative] \
+        [--floor 0.95] [--trace-out trace.json]
 
 ``--trace-out`` additionally reruns the first seed/config with
 telemetry enabled (same fault weather -- the plan regenerates from the
@@ -75,9 +80,11 @@ def parse_seeds(text: str):
     return [int(part) for part in text.split(",") if part]
 
 
-def default_floor() -> float:
+def default_floors() -> dict:
+    """The per-config ``{config: floor}`` map shipped in floor.json."""
     with open(FLOOR_FILE) as fh:
-        return float(json.load(fh)["goodput_floor"])
+        return {config: float(floor)
+                for config, floor in json.load(fh)["floors"].items()}
 
 
 def main(argv=None) -> int:
@@ -94,10 +101,14 @@ def main(argv=None) -> int:
     parser.add_argument("--pattern", choices=("fanin", "symmetric"),
                         default="fanin")
     parser.add_argument("--transports", default="gbn",
-                        help="comma list of configs: gbn, sr, gbn+ll")
+                        help="comma list of configs: gbn, sr, gbn+ll, "
+                             "sr+ll, lb")
     parser.add_argument("--floor", type=float, default=None,
-                        help="per-seed goodput floor for link-local "
-                             "configs (default: floor.json)")
+                        help="override the per-config floor.json map with "
+                             "one float gating link-local configs only")
+    parser.add_argument("--speculative", action="store_true",
+                        help="run the sharded legs with speculative "
+                             "windows + capsule rollback")
     parser.add_argument("--no-failover", action="store_true",
                         help="run without the spare checksum lane + "
                              "health monitor")
@@ -111,7 +122,7 @@ def main(argv=None) -> int:
 
     seeds = parse_seeds(args.seeds)
     configs = tuple(part for part in args.transports.split(",") if part)
-    floor = args.floor if args.floor is not None else default_floor()
+    floor = args.floor if args.floor is not None else default_floors()
 
     def progress(case):
         verdict = "pass" if case["passed"] else "FAIL"
@@ -128,6 +139,7 @@ def main(argv=None) -> int:
         workers=args.workers, check_replay=not args.no_replay,
         progress=progress, configs=configs,
         failover=not args.no_failover, goodput_floor=floor,
+        speculative=args.speculative,
     )
 
     series = []
@@ -191,12 +203,16 @@ def main(argv=None) -> int:
         for breach in report["floor_failures"]:
             print(f"GOODPUT FLOOR BREACH seed {breach['seed']} "
                   f"[{breach['config']}]: {breach['goodput']:.3f} < "
-                  f"{floor:.2f}", file=sys.stderr)
+                  f"{breach['floor']:.2f}", file=sys.stderr)
         failed = True
     if failed:
         return 1
+    floors_text = (", ".join(f"{c}>={f:.2f}"
+                             for c, f in sorted(floor.items())
+                             if c in configs) or "none"
+                   if isinstance(floor, dict) else f"{floor:.2f}")
     print(f"all invariants hold on {len(seeds)} seeds x "
-          f"{len(configs)} configs (floor {floor:.2f})")
+          f"{len(configs)} configs (floors: {floors_text})")
     return 0
 
 

@@ -1,0 +1,258 @@
+"""Live backend migration under the 32-NIC incast (the CI ``lb-smoke``
+gate).
+
+Serves a VIP from the RMT pipeline of one NIC in a 32-NIC all-pairs
+rack -- 1 load balancer, 4 backends, 27 clients on payload-tag flow
+ids -- and drains one of the four backends mid-traffic with the
+make-before-break epoch protocol (DESIGN.md section 17).  A planned
+drain must be invisible to the transport layer:
+
+* **goodput >= the floor** (default from ``benchmarks/perf/floor.json``
+  key ``lb_goodput_min``): every client flow completes; pinned flows
+  finish on the draining backend, post-drain flows hash into the
+  survivors;
+* **zero committed loss + no affinity violation**: the chaos harness's
+  lb invariant checker runs on every leg;
+* **mono == sharded** at each requested worker count (conservative
+  windows; ``--speculative`` flips the protocol).
+
+A second, drain-free run of the same rack gives the quiet baseline, so
+the flow-completion-time tail *during table churn* reads off directly
+(EXPERIMENTS.md E17).  Writes ``BENCH_lb.json`` in the stable
+``repro-bench/2`` envelope.  Series metrics: per-scenario ``goodput``,
+``invariants_ok``, ``p50_fct_us``/``p99_fct_us``, ``churn_p99_fct_us``
+(flows whose active window overlaps the drain instant),
+``steered_frames_per_sec``, ``aborted_flows``, and per-worker-count
+``bit_identical`` flags.  Exits non-zero when any gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/lb/run_lb_bench.py \
+        --out BENCH_lb.json [--nics 32] [--backends 4] [--frames 30] \
+        [--drain-backend 2] [--drain-at-us 150] [--workers 2,4] \
+        [--slots 2048] [--floor 0.99] [--speculative]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "perf")
+)
+from bench_schema import envelope, write_json  # noqa: E402
+
+from repro.lb.rack import lb_layout, lb_rack_topology  # noqa: E402
+from repro.reliability.chaos import _check_lb_case  # noqa: E402
+from repro.sim.clock import US  # noqa: E402
+from repro.sim.shard import run_monolithic, run_sharded  # noqa: E402
+
+#: Throughput floors live with the perf gates; the lb key rides along.
+FLOOR_FILE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "..", "perf", "floor.json")
+
+#: Affinity slots for the 32-NIC shape.  27 concurrent client flows
+#: collide in the default 256-slot table (direct indexing, no
+#: chaining); 2048 is the smallest power of two where every shipped
+#: client key lands in its own slot (tests/test_lb.py pins this).
+DEFAULT_SLOTS = 2048
+
+
+def default_floor() -> float:
+    with open(FLOOR_FILE) as fh:
+        return float(json.load(fh)["lb_goodput_min"])
+
+
+def percentile(values, frac: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(frac * len(ordered)))
+    return float(ordered[index])
+
+
+def run_scenario(*, nics: int, backends: int, frames: int, gap_us: int,
+                 stagger_us: int, slots: int, drain, monitor_stop_us: int,
+                 worker_counts, speculative: bool) -> dict:
+    """One full scenario: mono run + sharded equivalence legs."""
+    def topology():
+        return lb_rack_topology(
+            nics=nics, n_backends=backends, frames=frames,
+            gap_ps=gap_us * US, stagger_ps=stagger_us * US,
+            slots=slots, drain=drain,
+            monitor_stop_ps=monitor_stop_us * US,
+        )
+
+    mono = run_monolithic(topology())
+    legs = {}
+    for workers in worker_counts:
+        shard = run_sharded(topology(), workers=workers,
+                            speculative=speculative)
+        violations = _check_lb_case(mono, shard, None, backends)
+        legs[workers] = {
+            "bit_identical": mono.reports == shard.reports
+            and mono.wire_stats == shard.wire_stats,
+            "violations": violations,
+            "wall_seconds": shard.wall_seconds,
+        }
+    if not worker_counts:
+        legs[0] = {"bit_identical": True,
+                   "violations": _check_lb_case(mono, None, None, backends),
+                   "wall_seconds": mono.wall_seconds}
+
+    _, clients = lb_layout(nics, backends)
+    first_client = clients[0]
+    fcts = {}          # client index -> (start_ps, completed_ps)
+    aborted = 0
+    for c in clients:
+        report = mono.reports[f"nic{c}"]
+        start_ps = (c - first_client) * stagger_us * US
+        aborted += len(report["failures"])
+        for _dst, completed_ps in report["fct"].items():
+            fcts[c] = (start_ps, completed_ps)
+    durations_us = [(done - start) / US for start, done in fcts.values()]
+    churn_us = [(done - start) / US for start, done in fcts.values()
+                if drain and start <= drain[1] <= done]
+    sent = sum(r.get("sent", 0) for r in mono.reports.values())
+    delivered = sum(len(r.get("deliveries", ()))
+                    for r in mono.reports.values())
+    steering = mono.reports["nic0"]["steering"]
+    last_done_ps = max((done for _s, done in fcts.values()), default=0)
+    return {
+        "goodput": delivered / sent if sent else 1.0,
+        "sent": sent,
+        "delivered": delivered,
+        "aborted_flows": aborted,
+        "completed_flows": len(fcts),
+        "p50_fct_us": percentile(durations_us, 0.50),
+        "p99_fct_us": percentile(durations_us, 0.99),
+        "churn_flows": len(churn_us),
+        "churn_p99_fct_us": percentile(churn_us, 0.99),
+        "steered_frames": steering["stats"]["steered"],
+        "steered_frames_per_sec": (
+            steering["stats"]["steered"] / (last_done_ps * 1e-12)
+            if last_done_ps else 0.0),
+        "epoch": steering["epoch"],
+        "gc_removed": steering["gc_removed"],
+        "affinity": steering["stats"],
+        "mono_wall_seconds": mono.wall_seconds,
+        "legs": {str(w): leg for w, leg in legs.items()},
+        "invariants_ok": all(not leg["violations"] for leg in legs.values()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_lb.json")
+    parser.add_argument("--nics", type=int, default=32)
+    parser.add_argument("--backends", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=30,
+                        help="frames per client flow")
+    parser.add_argument("--gap-us", type=int, default=2,
+                        help="inter-frame gap per client, us")
+    parser.add_argument("--stagger-us", type=int, default=10,
+                        help="client start stagger, us")
+    parser.add_argument("--slots", type=int, default=DEFAULT_SLOTS,
+                        help="affinity table slots")
+    parser.add_argument("--drain-backend", type=int, default=2)
+    parser.add_argument("--drain-at-us", type=int, default=150,
+                        help="planned drain instant, us (mid-traffic)")
+    parser.add_argument("--workers", default="2,4",
+                        help="comma list of shard worker counts to gate "
+                             "bit-identical against mono ('' = mono only)")
+    parser.add_argument("--speculative", action="store_true",
+                        help="shard with speculative windows")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="migration goodput floor "
+                             "(default: perf/floor.json lb_goodput_min)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the quiet (drain-free) baseline run")
+    args = parser.parse_args(argv)
+
+    floor = args.floor if args.floor is not None else default_floor()
+    worker_counts = [int(w) for w in args.workers.split(",") if w]
+    # Probes must outlive the staggered traffic so a mid-run drain is
+    # observed by a live monitor on every leg.
+    _, clients = lb_layout(args.nics, args.backends)
+    horizon_us = (len(clients) * args.stagger_us
+                  + args.frames * args.gap_us + 100)
+    common = dict(
+        nics=args.nics, backends=args.backends, frames=args.frames,
+        gap_us=args.gap_us, stagger_us=args.stagger_us, slots=args.slots,
+        monitor_stop_us=horizon_us, worker_counts=worker_counts,
+        speculative=args.speculative,
+    )
+
+    print(f"lb bench: {args.nics} NICs ({args.backends} backends, "
+          f"{len(clients)} clients x {args.frames} frames), drain "
+          f"nic{args.drain_backend} @ {args.drain_at_us} us, workers "
+          f"{worker_counts or ['mono']}")
+    scenarios = {
+        "lb_migration": run_scenario(
+            drain=(args.drain_backend, args.drain_at_us * US), **common),
+    }
+    if not args.no_baseline:
+        scenarios["lb_quiet"] = run_scenario(drain=None, **common)
+
+    series = []
+    for name, s in scenarios.items():
+        for metric in ("goodput", "p50_fct_us", "p99_fct_us",
+                       "churn_p99_fct_us", "steered_frames_per_sec",
+                       "aborted_flows", "gc_removed"):
+            series.append({"workload": name, "metric": metric,
+                           "value": s[metric]})
+        series.append({"workload": name, "metric": "invariants_ok",
+                       "value": int(s["invariants_ok"])})
+        for workers, leg in s["legs"].items():
+            series.append({"workload": f"{name}_{workers}w",
+                           "metric": "bit_identical",
+                           "value": int(leg["bit_identical"])})
+
+    write_json(args.out, envelope(
+        "lb",
+        {"nics": args.nics, "backends": args.backends,
+         "frames": args.frames, "gap_us": args.gap_us,
+         "stagger_us": args.stagger_us, "slots": args.slots,
+         "drain_backend": args.drain_backend,
+         "drain_at_us": args.drain_at_us, "workers": worker_counts,
+         "speculative": args.speculative, "floor": floor},
+        scenarios, series,
+    ))
+
+    failed = []
+    mig = scenarios["lb_migration"]
+    print(f"migration: goodput {mig['goodput']:.4f} (floor {floor:.2f}), "
+          f"p99 FCT {mig['p99_fct_us']:.1f} us "
+          f"(churn-window p99 {mig['churn_p99_fct_us']:.1f} us over "
+          f"{mig['churn_flows']} flows), "
+          f"{mig['steered_frames_per_sec'] / 1e6:.2f}M frames/s steered")
+    if "lb_quiet" in scenarios:
+        quiet = scenarios["lb_quiet"]
+        print(f"quiet    : goodput {quiet['goodput']:.4f}, "
+              f"p99 FCT {quiet['p99_fct_us']:.1f} us")
+    for name, s in scenarios.items():
+        if s["goodput"] < floor:
+            failed.append(f"{name}: goodput {s['goodput']:.4f} < {floor}")
+        if not s["invariants_ok"]:
+            for leg in s["legs"].values():
+                for violation in leg["violations"]:
+                    failed.append(f"{name}: {violation}")
+        for workers, leg in s["legs"].items():
+            if not leg["bit_identical"]:
+                failed.append(f"{name}: {workers}-worker sharded run "
+                              f"diverged from mono")
+    if failed:
+        for line in failed:
+            print(f"GATE FAILURE {line}", file=sys.stderr)
+        return 1
+    print(f"all gates hold: goodput >= {floor}, zero committed loss, "
+          f"no affinity violations, bit-identical at "
+          f"{worker_counts or ['mono']} workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ Usage::
     python -m repro rack        # sharded rack-scale run vs monolithic
     python -m repro trace       # per-packet telemetry -> trace.json + timeline
     python -m repro chaos       # seeded chaos: lossy rack + invariant gate
+    python -m repro lb          # RMT-resident L4 LB: live drain/failover
     python -m repro int-report  # in-band telemetry rack flight record
     python -m repro bench-report  # BENCH_*.json vs floor.json summary
     python -m repro all         # everything above (except rack/trace/chaos)
@@ -249,16 +250,20 @@ def cmd_trace(frames: int = 32, sample_every: int = 1,
 def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
               workers: int = 2, frames: int = 30, pattern: str = "fanin",
               transport: str = "gbn", out: str = "",
-              trace_out: str = "") -> None:
+              trace_out: str = "", speculative: bool = False,
+              floor_file: str = "benchmarks/chaos/floor.json") -> None:
     """Break the rack on purpose: run seeded chaos cases on the reliable
     incast and gate on the delivery invariants (DESIGN.md section 12).
 
-    ``transport`` picks the recovery strategy: ``gbn`` (go-back-N),
-    ``sr`` (selective repeat + adaptive RTO), or ``gbn+ll`` (go-back-N
-    with link-local repair armed on every wire; additionally gated on
-    the per-seed goodput floor).  Exits non-zero if any invariant -- or
-    the floor -- is violated, the same gate the CI ``chaos-smoke`` job
-    runs via ``benchmarks/chaos/run_chaos.py``.
+    ``transport`` picks the config: ``gbn`` (go-back-N), ``sr``
+    (selective repeat + adaptive RTO), ``gbn+ll``/``sr+ll`` (either
+    transport with link-local repair armed on every wire), or ``lb``
+    (the load-balanced rack with live drains and backend crashes,
+    DESIGN.md section 17).  Goodput floors are per config, read from
+    ``floor_file`` (configs absent from its ``floors`` map are
+    ungated).  Exits non-zero if any invariant -- or a floor -- is
+    violated, the same gate the CI ``chaos-smoke`` job runs via
+    ``benchmarks/chaos/run_chaos.py``.
 
     ``trace_out`` (``--trace-out``) additionally reruns the first seed
     with telemetry enabled -- same fault weather, the plan regenerates
@@ -267,7 +272,16 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
     """
     import json
 
-    from repro.reliability.chaos import run_chaos
+    from repro.reliability.chaos import DEFAULT_GOODPUT_FLOOR, run_chaos
+
+    try:
+        with open(floor_file) as fh:
+            floors = {config: float(floor)
+                      for config, floor in json.load(fh)["floors"].items()}
+    except (FileNotFoundError, KeyError, ValueError):
+        floors = DEFAULT_GOODPUT_FLOOR
+        print(f"note: no per-config floors at {floor_file}; gating "
+              f"link-local configs at {floors:.2f}")
 
     def progress(case: dict) -> None:
         verdict = "pass" if case["passed"] else "FAIL"
@@ -278,20 +292,24 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
               f"aborts={case['delivery_failures']}")
 
     seed_list = list(range(first_seed, first_seed + seeds))
+    protocol = "speculative" if speculative else "conservative"
     print(f"chaos: {len(seed_list)} seeds on a {nics}-NIC {pattern} rack, "
-          f"{frames} frames/flow, transport {transport}, "
-          f"mono + {workers}-worker sharded")
+          f"{frames} frames/flow, config {transport}, "
+          f"mono + {workers}-worker sharded ({protocol})")
     report = run_chaos(seed_list, nics=nics, pattern=pattern, frames=frames,
                        workers=workers, progress=progress,
-                       configs=(transport,))
+                       configs=(transport,), goodput_floor=floors,
+                       speculative=speculative)
     print(f"goodput min/mean      : {report['goodput_min']:.3f} / "
           f"{report['goodput_mean']:.3f}")
     print("invariants            :",
           "all hold" if report["passed"]
           else f"VIOLATED on seeds {report['failed_seeds']}")
-    if report["params"]["goodput_floor"] is not None and "+" in transport:
+    gate = (floors.get(transport) if isinstance(floors, dict)
+            else (floors if "+" in transport else None))
+    if gate is not None:
         print("goodput floor         :",
-              f"{report['params']['goodput_floor']:.2f} "
+              f"{gate:.2f} "
               + ("held" if report["floor_ok"] else "BREACHED"))
     if out:
         with open(out, "w") as fh:
@@ -313,8 +331,112 @@ def cmd_chaos(seeds: int = 5, first_seed: int = 0, nics: int = 4,
     if not report["floor_ok"]:
         for breach in report["floor_failures"]:
             print(f"  seed {breach['seed']} [{breach['config']}]: "
-                  f"goodput {breach['goodput']:.3f} below floor")
+                  f"goodput {breach['goodput']:.3f} below floor "
+                  f"{breach['floor']:.2f}")
         raise SystemExit("chaos goodput floor breached")
+
+
+def cmd_lb(nics: int = 7, backends: int = 3, frames: int = 30,
+           workers: int = 2, speculative: bool = False,
+           drain: str = "2@25", crash: str = "", out: str = "") -> None:
+    """Serve a VIP from the RMT pipeline and migrate it live.
+
+    Builds the load-balanced rack (LB at index 0, ``backends`` backends,
+    the rest clients; DESIGN.md section 17), then exercises the two
+    control-plane verbs mid-traffic: ``drain`` (``"B@US"``: planned
+    make-before-break removal of backend B at that many microseconds --
+    pinned flows complete, new flows re-hash) and ``crash`` (``"B@US"``:
+    the backend's NIC goes dark and the heartbeat monitor must fail it
+    out).  Runs monolithically and, with ``workers``, sharded too; gates
+    the affinity and zero-committed-loss invariants and exits non-zero
+    on any violation.
+    """
+    import json
+
+    from repro.faults.plan import FaultPlan
+    from repro.lb.rack import lb_rack_topology
+    from repro.reliability.chaos import _check_lb_case
+    from repro.sim.clock import US, format_time
+    from repro.sim.shard import run_monolithic, run_sharded
+
+    def parse_at(text: str, what: str):
+        try:
+            backend, at_us = text.split("@", 1)
+            return int(backend), int(float(at_us) * US)
+        except ValueError:
+            raise SystemExit(f"--{what} wants BACKEND@MICROSECONDS, "
+                             f"got {text!r}")
+
+    drain_spec = parse_at(drain, "drain") if drain else None
+    crash_spec = parse_at(crash, "crash") if crash else None
+
+    def topology():
+        return lb_rack_topology(nics=nics, n_backends=backends,
+                                frames=frames, drain=drain_spec)
+
+    def plan():
+        fault_plan = FaultPlan(seed=0)
+        if crash_spec is not None:
+            fault_plan.nic_down(crash_spec[1], f"nic{crash_spec[0]}")
+        return fault_plan
+
+    verbs = []
+    if drain_spec:
+        verbs.append(f"drain nic{drain_spec[0]} @ "
+                     f"{format_time(drain_spec[1])}")
+    if crash_spec:
+        verbs.append(f"crash nic{crash_spec[0]} @ "
+                     f"{format_time(crash_spec[1])}")
+    print(f"lb: {nics}-NIC rack, VIP on nic0, {backends} backends, "
+          f"{nics - backends - 1} clients x {frames} frames; "
+          + ("; ".join(verbs) if verbs else "no churn"))
+    mono = run_monolithic(topology(), fault_plan=plan())
+    shard = (run_sharded(topology(), workers=workers, fault_plan=plan(),
+                         speculative=speculative)
+             if workers else None)
+    violations = _check_lb_case(mono, shard, None, backends)
+
+    steering = mono.reports["nic0"]["steering"]
+    monitor = mono.reports["nic0"]["monitor"]
+    rows = []
+    for b in range(1, backends + 1):
+        state = ("drained" if b in steering["draining"]
+                 else "FAILED" if b in steering["failed"] else "live")
+        rows.append([f"nic{b}", state,
+                     len(mono.reports[f"nic{b}"]["deliveries"])])
+    print(format_table(["Backend", "State", "Frames served"], rows,
+                       title="Backend delivery split"))
+    sent = sum(r.get("sent", 0) for r in mono.reports.values())
+    delivered = sum(len(r.get("deliveries", ()))
+                    for r in mono.reports.values())
+    aborted = sum(len(r.get("failures", ()))
+                  for r in mono.reports.values())
+    print("epochs installed      :", steering["epoch"] + 1,
+          f"(gc removed {steering['gc_removed']} stale)")
+    print("affinity table        :", steering["stats"])
+    print("monitor               :", monitor["hb_probes_sent"], "probes,",
+          monitor["hb_echoes_seen"], "echoes,",
+          {b: format_time(t) for b, t in monitor["detected"].items()}
+          or "no failures detected")
+    print("goodput               :",
+          f"{delivered}/{sent} = {delivered / sent:.3f}"
+          if sent else "n/a", f"({aborted} aborted flows)")
+    if shard is not None:
+        identical = (mono.reports == shard.reports
+                     and mono.wire_stats == shard.wire_stats)
+        print("bit-identical sharded :",
+              "yes" if identical else "NO (DIVERGENCE)")
+    if out:
+        with open(out, "w") as fh:
+            json.dump({"reports": mono.reports,
+                       "violations": violations}, fh,
+                      indent=2, sort_keys=True, default=list)
+        print(f"wrote report to {out}")
+    if violations:
+        for violation in violations:
+            print(f"  ! {violation}")
+        raise SystemExit("lb invariants violated")
+    print("invariants            : affinity + zero committed loss hold")
 
 
 def cmd_int_report(nics: int = 4, frames: int = 40, gap_ns: int = 2000,
@@ -390,8 +512,10 @@ def cmd_bench_report(bench: Optional[List[str]] = None,
     throughput floors (``events_per_sec``, ``events_per_sec_batched``,
     ``parallel_events_per_sec``) pass above ``(1 - tolerance) * floor``;
     overhead caps (``telemetry_overhead_max_frac``,
-    ``int_overhead_max_frac``) and the chaos invariant/floor flags are
-    exact.  Ungated series are summarized, not judged.
+    ``int_overhead_max_frac``), the chaos invariant/floor flags, and the
+    lb migration gates (``lb_goodput_min`` on the ``lb_*`` workloads'
+    goodput, exact ``invariants_ok``/``bit_identical`` flags) are exact.
+    Ungated series are summarized, not judged.
     """
     import glob as globlib
     import json
@@ -415,6 +539,7 @@ def cmd_bench_report(bench: Optional[List[str]] = None,
         "telemetry_idle": floors.get("telemetry_overhead_max_frac"),
         "int_idle": floors.get("int_overhead_max_frac"),
     }
+    lb_floor = floors.get("lb_goodput_min")
     rows = []          # (status_ok, line)
     ungated_points = 0
     for path in paths:
@@ -459,6 +584,19 @@ def cmd_bench_report(bench: Optional[List[str]] = None,
                 rows.append((ok, (
                     f"  chaos {metric}: "
                     + ("ok" if ok else "VIOLATED"))))
+            elif (workload.startswith("lb_") and metric == "goodput"
+                    and lb_floor is not None):
+                ok = value >= lb_floor
+                rows.append((ok, (
+                    f"  {workload} [goodput]: {value:.4f} vs floor "
+                    f"{lb_floor:.2f} -> "
+                    + ("ok" if ok else "REGRESSION"))))
+            elif (workload.startswith("lb_")
+                    and metric in ("invariants_ok", "bit_identical")):
+                ok = bool(value)
+                rows.append((ok, (
+                    f"  {workload} [{metric}]: "
+                    + ("ok" if ok else "VIOLATED"))))
             else:
                 ungated_points += 1
     for _ok, line in rows:
@@ -479,6 +617,7 @@ COMMANDS = {
     "rack": cmd_rack,
     "trace": cmd_trace,
     "chaos": cmd_chaos,
+    "lb": cmd_lb,
     "int-report": cmd_int_report,
     "bench-report": cmd_bench_report,
 }
@@ -495,9 +634,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="which artifact to print",
     )
     rack = parser.add_argument_group("rack options")
-    rack.add_argument("--nics", type=int, default=4,
+    rack.add_argument("--nics", type=int, default=None,
                       help="NICs in the rack (2..7 with DSCP flow ids, "
-                           "up to 255 with the payload tag)")
+                           "up to 255 with the payload tag; default 4, "
+                           "7 for lb)")
     rack.add_argument("--workers", type=int, default=0,
                       help="worker processes (default: min(4, nics))")
     rack.add_argument("--speculative", action="store_true",
@@ -533,11 +673,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--first-seed", type=int, default=0,
                        help="first seed of the range")
     chaos.add_argument("--transport", default="gbn",
-                       choices=("gbn", "sr", "gbn+ll"),
-                       help="recovery strategy: go-back-N, selective "
-                            "repeat, or go-back-N + link-local repair")
+                       choices=("gbn", "sr", "gbn+ll", "sr+ll", "lb"),
+                       help="config: go-back-N, selective repeat, either "
+                            "+ link-local repair, or the load-balanced "
+                            "rack")
     chaos.add_argument("--chaos-out", default="",
                        help="write the chaos report JSON here")
+    chaos.add_argument("--chaos-floor", default="benchmarks/chaos/floor.json",
+                       help="per-config goodput floor JSON "
+                            "({\"floors\": {config: floor}})")
+    lb_group = parser.add_argument_group(
+        "lb options (--nics/--workers/--frames/--speculative apply too)")
+    lb_group.add_argument("--backends", type=int, default=3,
+                          help="backends serving the VIP (rack indices "
+                               "1..N; the rest are clients)")
+    lb_group.add_argument("--drain", default="2@25",
+                          help="planned live drain, BACKEND@MICROSECONDS "
+                               "('' to disable)")
+    lb_group.add_argument("--crash", default="",
+                          help="backend NIC crash, BACKEND@MICROSECONDS "
+                               "(the health monitor must fail it out)")
+    lb_group.add_argument("--lb-out", default="",
+                          help="write the lb run report JSON here")
     int_group = parser.add_argument_group(
         "int-report options (--nics/--workers/--frames/--gap-ns/--prop-ns/"
         "--pattern/--speculative/--trace-out apply too)")
@@ -569,7 +726,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             COMMANDS[name]()
             print()
     elif args.command == "rack":
-        cmd_rack(nics=args.nics, workers=args.workers, frames=args.frames,
+        cmd_rack(nics=args.nics or 4, workers=args.workers,
+                 frames=args.frames,
                  gap_ns=args.gap_ns, prop_ns=args.prop_ns,
                  pattern=args.pattern or "symmetric",
                  speculative=args.speculative, flow_id=args.flow_id)
@@ -579,12 +737,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                   out=args.trace_out or "trace.json")
     elif args.command == "chaos":
         cmd_chaos(seeds=args.seeds, first_seed=args.first_seed,
-                  nics=args.nics, workers=args.workers or 2,
+                  nics=args.nics or 4, workers=args.workers or 2,
                   frames=args.frames, pattern=args.pattern or "fanin",
                   transport=args.transport, out=args.chaos_out,
-                  trace_out=args.trace_out or "")
+                  trace_out=args.trace_out or "",
+                  speculative=args.speculative,
+                  floor_file=args.chaos_floor)
+    elif args.command == "lb":
+        cmd_lb(nics=args.nics or 7, backends=args.backends,
+               frames=args.frames, workers=args.workers or 2,
+               speculative=args.speculative,
+               drain=args.drain, crash=args.crash, out=args.lb_out)
     elif args.command == "int-report":
-        cmd_int_report(nics=args.nics, frames=args.frames,
+        cmd_int_report(nics=args.nics or 4, frames=args.frames,
                        gap_ns=args.gap_ns, prop_ns=args.prop_ns,
                        pattern=args.pattern or "fanin",
                        workers=args.workers, speculative=args.speculative,

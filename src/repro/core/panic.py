@@ -66,6 +66,13 @@ class PanicNic:
         self.rmt_drops = Counter(f"{name}.rmt_drops")
         self.corrupt_drops = Counter(f"{name}.corrupt_drops")
         self.failovers = Counter(f"{name}.failovers")
+        #: Whole-NIC power state (repro.faults NIC_DOWN/NIC_UP).  A dark
+        #: NIC drops every arriving frame at ingress and vanishes every
+        #: frame reaching a transmit MAC; engines keep running
+        #: internally, exactly like a host whose links died.
+        self.powered = True
+        self.dark_rx_drops = Counter(f"{name}.dark_rx_drops")
+        self.dark_tx_drops = Counter(f"{name}.dark_tx_drops")
         # Failover policy: primary engine key -> backup engine key, and
         # the set of engine keys already failed over.  An optional
         # HealthMonitor (repro.faults.monitor) drives detection.
@@ -317,6 +324,11 @@ class PanicNic:
             ecnmark.watch_engine = self.dma
 
     def _on_transmit(self, packet: Packet) -> None:
+        if not self.powered:
+            # Dark at the MAC: the frame serialized internally but never
+            # makes it onto the wire.
+            self.dark_tx_drops.add()
+            return
         self.transmitted.append(packet)
         for callback in self._tx_callbacks:
             callback(packet)
@@ -338,6 +350,9 @@ class PanicNic:
         """Offer a frame at an Ethernet port; returns wire-arrival time."""
         if not 0 <= port < len(self.ports):
             raise ValueError(f"no port {port}; NIC has {len(self.ports)}")
+        if not self.powered:
+            self.dark_rx_drops.add()
+            return self.sim.now
         packet.meta.created_ps = packet.meta.created_ps or self.sim.now
         if self.telemetry is not None:
             # Sampling decision at the NIC boundary, in arrival order:
@@ -353,6 +368,18 @@ class PanicNic:
     def on_transmit(self, callback: Callable[[Packet], None]) -> None:
         """Register an egress observer."""
         self._tx_callbacks.append(callback)
+
+    def set_power(self, on: bool) -> None:
+        """Turn the NIC's external-facing MACs on or off.
+
+        Off is *dark*, not *dead*: internal engines, timers, and the
+        host keep running, but nothing crosses the Ethernet boundary in
+        either direction (with ``dark_rx_drops``/``dark_tx_drops``
+        accounting).  This is what a crashed backend looks like to the
+        rest of the rack -- the failure the load balancer's health
+        monitor detects.  Driven by ``FaultPlan.nic_down``/``nic_up``.
+        """
+        self.powered = bool(on)
 
     # ------------------------------------------------------------------
     # Fault tolerance
@@ -424,6 +451,8 @@ class PanicNic:
             "corrupt_drops": self.corrupt_drops.value,
             "failovers": self.failovers.value,
             "failed_engines": len(self.failed_engines),
+            "dark_rx_drops": self.dark_rx_drops.value,
+            "dark_tx_drops": self.dark_tx_drops.value,
             "blackholed": sum(
                 e.blackholed.value for e in self.engines.values()
             ),

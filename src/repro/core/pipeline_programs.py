@@ -125,6 +125,25 @@ def build_panic_program(
         [MatchKey("meta.direction"), MatchKey("rack.tag")],
         requires="rack.tag",
     )
+    # Stage 4e: L4 load balancing (repro.lb).  ``vip_steer`` matches
+    # packets addressed to a virtual IP and runs ``affinity_steer`` --
+    # consistent-hash backend selection with Register-backed connection
+    # affinity.  The dst key is ternary so the control plane can install
+    # a new rule *epoch* at a higher priority before garbage-collecting
+    # the masked old one (make-before-break, DESIGN.md section 17).
+    program.add_table(
+        "vip_steer",
+        [MatchKey("meta.direction"), MatchKey("ipv4.dst", MatchKind.TERNARY)],
+        requires="ipv4.dst",
+    )
+    # Stage 4f: chosen backend -> egress cable.  ``meta.lb_backend`` is
+    # only written by a vip_steer hit, so this stage is skipped for all
+    # other traffic (requires gating is live per stage).
+    program.add_table(
+        "lb_egress",
+        [MatchKey("meta.lb_backend")],
+        requires="meta.lb_backend",
+    )
     # Stage 5: per-tenant slack (scheduler programming, section 3.1.3).
     program.add_table(
         "tenant_slack",
@@ -201,6 +220,11 @@ class PanicControl:
             raise KeyError(
                 f"unknown engine {engine_name!r}; have {sorted(self._addr_of)}"
             ) from None
+
+    def port_addr(self, port: int) -> int:
+        """NoC address of Ethernet port ``port`` (chain targets for
+        forwarding decisions like the load balancer's backend cables)."""
+        return self._port_addrs[port]
 
     def resolve_chain(self, chain: Sequence) -> List[int]:
         """Accept engine names or raw addresses."""

@@ -19,6 +19,9 @@ from repro.faults.plan import (
     FaultPlan,
     LINK_CORRUPT,
     LINK_DROP,
+    NIC_DOWN,
+    NIC_KINDS,
+    NIC_UP,
     PIFO_CORRUPT,
     RECOVER,
     SLOW,
@@ -71,7 +74,15 @@ class FaultInjector:
                 f"through repro.faults.rack (run_monolithic/run_sharded "
                 f"fault_plan=...), not a single-NIC FaultInjector"
             )
-        if event.kind in _ENGINE_KINDS:
+        if event.kind in NIC_KINDS:
+            if event.target != "self":
+                raise ValueError(
+                    f"{event.kind!r} in a single-NIC plan targets the "
+                    f"literal 'self' (rack plans use the bare NIC name, "
+                    f"armed through repro.faults.rack), got "
+                    f"{event.target!r}"
+                )
+        elif event.kind in _ENGINE_KINDS:
             self.nic.offload(event.target)
         elif event.kind in _CHANNEL_KINDS:
             self.nic.mesh.channel(event.target)
@@ -118,6 +129,10 @@ class FaultInjector:
             )
         elif kind == PIFO_CORRUPT:
             self.nic.offload(event.target).queue.corrupt_ranks(rng)
+        elif kind == NIC_DOWN:
+            self.nic.set_power(False)
+        elif kind == NIC_UP:
+            self.nic.set_power(True)
         else:  # pragma: no cover - FaultEvent validates kinds
             raise ValueError(f"unknown fault kind {kind!r}")
         self.injected.add()

@@ -26,14 +26,22 @@ WIRE_DOWN = "wire_down"
 WIRE_UP = "wire_up"
 WIRE_LOSS = "wire_loss"
 WIRE_LINKLAYER = "wire_linklayer"
+NIC_DOWN = "nic_down"
+NIC_UP = "nic_up"
 
 KINDS = (CRASH, STALL, SLOW, RECOVER, LINK_CORRUPT, LINK_DROP, PIFO_CORRUPT,
-         WIRE_DOWN, WIRE_UP, WIRE_LOSS, WIRE_LINKLAYER)
+         WIRE_DOWN, WIRE_UP, WIRE_LOSS, WIRE_LINKLAYER, NIC_DOWN, NIC_UP)
 
 #: Kinds targeting an *external* wire between two NICs (rack scope).
 #: These cannot be armed by a single-NIC :class:`FaultInjector`; use
 #: :mod:`repro.faults.rack` through ``run_monolithic``/``run_sharded``.
 WIRE_KINDS = (WIRE_DOWN, WIRE_UP, WIRE_LOSS, WIRE_LINKLAYER)
+
+#: Kinds targeting a *whole NIC* rather than one of its engines.  In a
+#: single-NIC plan the target is the literal ``"self"``; in a rack plan
+#: it is the bare NIC name (``"nic2"``), resolved by
+#: :func:`repro.faults.rack.resolve_rack_plan`.
+NIC_KINDS = (NIC_DOWN, NIC_UP)
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,36 @@ class FaultPlan:
     def corrupt_pifo(self, at_ps: int, engine: str) -> "FaultPlan":
         """Scramble the ranks of everything queued in a tile's PIFO."""
         return self._add(at_ps, PIFO_CORRUPT, engine)
+
+    # -- whole-NIC faults ------------------------------------------------
+    #
+    # Targets name the NIC itself: the literal ``"self"`` in a
+    # single-NIC plan, the bare NIC name (``"nic2"``) in a rack plan.
+    # Unlike engine crashes, a downed NIC goes *dark at its MACs*: every
+    # arriving frame is dropped at ingress and every frame reaching a
+    # transmit MAC vanishes, both with accounting
+    # (``stats()["faults"]["dark_rx_drops"/"dark_tx_drops"]``).  This is
+    # what a backend crash looks like from the rest of the rack -- the
+    # failure the load balancer's health monitor must detect.
+
+    def nic_down(self, at_ps: int, nic: str = "self") -> "FaultPlan":
+        """Power a NIC's MACs off: dark to the rack until
+        :meth:`nic_up`."""
+        return self._add(at_ps, NIC_DOWN, nic)
+
+    def nic_up(self, at_ps: int, nic: str = "self") -> "FaultPlan":
+        """Restore a NIC downed by :meth:`nic_down`."""
+        return self._add(at_ps, NIC_UP, nic)
+
+    def flap_nic(self, down_ps: int, up_ps: int,
+                 nic: str = "self") -> "FaultPlan":
+        """Convenience: a dark interval ``[down_ps, up_ps)``."""
+        if up_ps <= down_ps:
+            raise ValueError(
+                f"flap must come back up after it goes down "
+                f"({down_ps} .. {up_ps})"
+            )
+        return self.nic_down(down_ps, nic).nic_up(up_ps, nic)
 
     # -- external wire faults (rack scope) -------------------------------
     #

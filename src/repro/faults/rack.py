@@ -8,7 +8,9 @@ forms:
   the topology (``"nic0:ipsec"``, ``"nic2:panic.mesh.inj_0_0"``);
 * ``"wire_<i>_<j>"`` -- an external cable between NICs ``i`` and ``j``
   (indices in topology declaration order), the target of the
-  ``WIRE_DOWN``/``WIRE_UP``/``WIRE_LOSS`` kinds.
+  ``WIRE_DOWN``/``WIRE_UP``/``WIRE_LOSS`` kinds;
+* ``"<nic>"`` (bare) -- a whole NIC, the target of the
+  ``NIC_DOWN``/``NIC_UP`` kinds (the NIC goes dark at its MACs).
 
 :func:`resolve_rack_plan` validates the plan against a topology without
 building anything; :func:`arm_rack_faults` schedules the events into a
@@ -30,6 +32,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     FaultEvent,
     FaultPlan,
+    NIC_KINDS,
     WIRE_DOWN,
     WIRE_KINDS,
     WIRE_LINKLAYER,
@@ -118,6 +121,18 @@ def resolve_rack_plan(
         if event.kind in WIRE_KINDS:
             link_index = resolve_wire_target(event.target, topology)
             resolved.append((index, event, ("wire", link_index)))
+        elif event.kind in NIC_KINDS:
+            # Whole-NIC faults name the NIC bare; the local event
+            # targets the injector's own NIC ("self").
+            if event.target not in known:
+                raise RackTargetError(
+                    f"{event.target!r}: no NIC named {event.target!r} in "
+                    f"the topology (have {sorted(known)})"
+                )
+            local_event = FaultEvent(event.at_ps, event.kind, "self",
+                                     event.params)
+            resolved.append((index, event, ("nic", event.target,
+                                            local_event)))
         else:
             nic, local = split_nic_target(event.target)
             if nic not in known:

@@ -25,37 +25,67 @@ case; it is a *measurement*, not an invariant -- a chaos plan that cuts
 a wire forever legitimately sinks goodput, while the invariants above
 must survive anything.
 
-A case runs under one **transport config** -- ``"gbn"`` (go-back-N),
-``"sr"`` (selective repeat with SACK + adaptive RTO), or ``"gbn+ll"``
-(go-back-N with LinkGuardian-style link-local repair armed on every
-wire) -- and :func:`run_chaos` runs each seed under every requested
-config, so one batch yields the recovery-strategy comparison (retransmit
-counts, goodput, flow completion times) the experiment log tracks.
-With link-local repair armed, goodput additionally carries a CI floor:
-sub-RTT repair plus checksum-lane failover is expected to hold the rack
-at near-full goodput under the chaos mix, and a seed dipping below the
-floor is a regression even though it violates no invariant.
+A case runs under one **config** -- ``"gbn"`` (go-back-N), ``"sr"``
+(selective repeat with SACK + adaptive RTO), ``"gbn+ll"``/``"sr+ll"``
+(either transport with LinkGuardian-style link-local repair armed on
+every wire), or ``"lb"`` (the load-balanced rack: clients drive one
+reliable flow each at a VIP while seeded weather drains and crashes
+backends underneath them) -- and :func:`run_chaos` runs each seed under
+every requested config, so one batch yields the recovery-strategy
+comparison (retransmit counts, goodput, flow completion times) the
+experiment log tracks.
+
+The ``lb`` config swaps the incast for :func:`lb_rack_topology` and adds
+two invariants of its own, gated bit-identically mono vs. sharded at any
+worker count, conservative and speculative:
+
+6. **No affinity violation** -- an established flow never changes
+   backend mid-connection.  Checked two ways: the data plane's own
+   evidence (``lb_stats``: zero live-collision bypasses and zero
+   evictions means every steered packet after the first was a register
+   hit on its pinned backend), and the delivery record (no client's
+   sequence numbers ever reached more than one backend host).
+7. **Zero committed loss during migration** -- the committed-loss check
+   above, but against the *union* of backend delivery sets: whatever
+   epoch churn the drain/fail verbs caused mid-flight, every
+   cumulatively-acknowledged sequence number landed on some backend.
+
+Goodput floors are per-config: pass ``goodput_floor`` a mapping
+``{config: floor}`` (what ``benchmarks/chaos/floor.json`` holds) and
+each config is gated against its own entry; a bare float keeps the
+legacy behaviour of gating link-local configs only.  Floor breaches
+land in ``floor_failures`` without flipping ``passed`` -- invariants
+and floors fail independently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.faults.plan import FaultPlan
 from repro.faults.rack import wire_target
+from repro.lb.rack import lb_layout, lb_rack_topology
 from repro.reliability.rack import reliable_rack_topology
 from repro.sim.clock import US
 from repro.sim.rng import SeededRng
 
-#: Transport configs a chaos case can run under.
-TRANSPORT_CONFIGS = ("gbn", "sr", "gbn+ll")
+#: Configs a chaos case can run under (four transport flavours plus the
+#: load-balanced rack).
+TRANSPORT_CONFIGS = ("gbn", "sr", "gbn+ll", "sr+ll", "lb")
 
-#: Per-seed goodput floor enforced for link-local configs (CI gate).
+#: Per-seed goodput floor enforced for link-local configs (CI gate)
+#: when ``goodput_floor`` is given as a bare float.
 DEFAULT_GOODPUT_FLOOR = 0.95
 
 
 def split_config(config: str):
-    """``"gbn+ll"`` -> ``("gbn", True)``; validates the vocabulary."""
+    """``"gbn+ll"`` -> ``("gbn", True)``; validates the vocabulary.
+
+    ``"lb"`` is a rack choice rather than a transport choice; it splits
+    to ``("lb", False)`` so floor bookkeeping treats it uniformly.
+    """
+    if config == "lb":
+        return "lb", False
     transport, _sep, suffix = config.partition("+")
     if transport not in ("gbn", "sr") or _sep and suffix != "ll":
         raise ValueError(
@@ -126,10 +156,80 @@ def generate_chaos_plan(seed: int, nics: int,
     return plan
 
 
-def _check_case(mono, shard, replay) -> List[str]:
-    """All invariant violations of one chaos case (empty = pass)."""
-    violations: List[str] = []
+# ----------------------------------------------------------------------
+# The lb config: seeded weather for the load-balanced rack
+# ----------------------------------------------------------------------
 
+#: Rack shape the ``lb`` chaos config runs with: one LB, three
+#: backends, three clients.  Independent of the incast's ``nics`` knob
+#: (a 4-NIC incast batch can still include ``lb`` cases).
+LB_NICS = 7
+LB_BACKENDS = 3
+
+#: Chance the seed crashes one backend NIC dark mid-run (both MACs off;
+#: the health monitor must detect it and fail the backend out).
+BACKEND_DOWN_P = 0.35
+
+#: Chance the seed schedules a planned live drain of one backend.
+DRAIN_P = 0.6
+
+
+def lb_drain_params(seed: int, n_backends: int = LB_BACKENDS,
+                    horizon_ps: int = 100 * US):
+    """``(backend, at_ps)`` for the seed's planned drain, or None.
+
+    Drawn from its own fork of the seed so the drain schedule -- which
+    lives in the *topology* (a control-plane verb on the LB node), not
+    the fault plan -- replays identically alongside the plan."""
+    rng = SeededRng(seed).fork("lbdrain")
+    if rng.random() >= DRAIN_P:
+        return None
+    backend = rng.randint(1, n_backends)
+    return backend, rng.randint(horizon_ps // 8, horizon_ps // 2)
+
+
+def generate_lb_chaos_plan(seed: int, nics: int,
+                           n_backends: int = LB_BACKENDS,
+                           horizon_ps: int = 100 * US) -> FaultPlan:
+    """Seeded weather for the load-balanced rack.
+
+    The same wire-loss and engine-slowdown mix as the incast plan, plus
+    the failure this config exists for: one backend NIC may go *dark*
+    (``nic_down`` -- MACs off in both directions, engines still
+    running), which the LB's heartbeat monitor must detect and fail out
+    of the ring.  At most one backend crashes and at most one drains
+    per case, so with three backends the VIP always keeps a live one.
+    """
+    plan = FaultPlan(seed=seed)
+    rng = SeededRng(seed).fork("lbchaos")
+    wires = [(i, j) for i in range(nics) for j in range(i + 1, nics)]
+    for i, j in wires:
+        if rng.random() < LOSS_WIRE_P:
+            drop_p = rng.uniform(*DROP_RANGE)
+            corrupt_p = (rng.uniform(*CORRUPT_RANGE)
+                         if rng.random() < CORRUPT_P else 0.0)
+            plan.wire_loss(rng.randint(0, horizon_ps // 4),
+                           wire_target(i, j),
+                           drop_p=drop_p, corrupt_p=corrupt_p)
+    if rng.random() < SLOW_P:
+        nic = rng.randint(0, nics - 1)
+        engine = rng.choice(CHAOS_ENGINES)
+        at = rng.randint(0, horizon_ps // 2)
+        plan.slow_engine(at, f"nic{nic}:{engine}",
+                         factor=rng.uniform(2.0, 6.0))
+        plan.recover_engine(at + rng.randint(10 * US, horizon_ps // 2),
+                            f"nic{nic}:{engine}")
+    if rng.random() < BACKEND_DOWN_P:
+        backend = rng.randint(1, n_backends)
+        plan.nic_down(rng.randint(horizon_ps // 4, (3 * horizon_ps) // 5),
+                      f"nic{backend}")
+    return plan
+
+
+def _check_modes(mono, shard, replay) -> List[str]:
+    """Execution-mode invariants shared by every config: sharded and
+    replayed runs must be bit-identical to the monolithic one."""
+    violations: List[str] = []
     if shard is not None:
         if mono.reports != shard.reports:
             diverged = sorted(
@@ -142,6 +242,12 @@ def _check_case(mono, shard, replay) -> List[str]:
     if replay is not None and (mono.reports != replay.reports
                                or mono.wire_stats != replay.wire_stats):
         violations.append("replay from seed diverged")
+    return violations
+
+
+def _check_case(mono, shard, replay) -> List[str]:
+    """All invariant violations of one chaos case (empty = pass)."""
+    violations = _check_modes(mono, shard, replay)
 
     # Receiver-side view: delivered (src, seq) pairs per NIC index.
     delivered: Dict[int, set] = {}
@@ -182,6 +288,82 @@ def _check_case(mono, shard, replay) -> List[str]:
     return violations
 
 
+def _check_lb_case(mono, shard, replay, n_backends: int) -> List[str]:
+    """Invariant violations of one ``lb`` chaos case (empty = pass).
+
+    On top of the mode checks, the two invariants this config gates:
+    *no affinity violation* (a flow never changes backend
+    mid-connection, witnessed both by the LB's own ``lb_stats``
+    evidence and by no client's sequence numbers landing on two
+    backends) and *zero committed loss during migration* (the
+    committed-loss check run against the union of backend delivery
+    sets, so epoch churn mid-flight cannot hide a forged ACK).
+    """
+    violations = _check_modes(mono, shard, replay)
+    backends = range(1, n_backends + 1)
+
+    # Backend-side truth: which (client, seq) pairs each backend's host
+    # actually received.
+    delivered_by: Dict[int, set] = {}
+    for b in backends:
+        pairs = [(src, seq) for src, seq, _t, _q
+                 in mono.reports[f"nic{b}"]["deliveries"]]
+        if len(pairs) != len(set(pairs)):
+            violations.append(f"duplicate delivery to host on nic{b}")
+        delivered_by[b] = set(pairs)
+    union = set().union(*delivered_by.values())
+
+    # Data-plane evidence from the balancer itself: with zero bypasses
+    # and zero evictions, every steered packet after a flow's first was
+    # a register hit on its pinned backend -- pinning is structural.
+    lb_stats = mono.reports["nic0"]["steering"]["stats"]
+    if lb_stats["bypass"]:
+        violations.append(
+            f"affinity violation: {lb_stats['bypass']} packets steered "
+            f"ring-only past a live affinity-slot collision"
+        )
+    if lb_stats["evictions"]:
+        violations.append(
+            f"affinity violation: {lb_stats['evictions']} affinity "
+            f"slots evicted while flows were live"
+        )
+
+    for name, report in mono.reports.items():
+        src = int(name[3:])
+        aborted_flows = {f[0] for f in report.get("failures", ())}
+        servers = sorted(b for b in backends
+                         if any(s == src for s, _seq in delivered_by[b]))
+        if len(servers) > 1:
+            violations.append(
+                f"affinity violation: flow from {name} delivered by "
+                f"backends {servers}"
+            )
+        for dst, flow in report.get("tx_flows", {}).items():
+            missing = [seq for seq in range(flow["acked"])
+                       if (src, seq) not in union]
+            if missing:
+                violations.append(
+                    f"committed loss {name}->vip: acked seqs "
+                    f"{missing[:5]} never reached any backend host"
+                )
+            if flow["sent"] != flow["acked"] + flow["failed"]:
+                violations.append(
+                    f"accounting leak {name}->vip: "
+                    f"sent={flow['sent']} acked={flow['acked']} "
+                    f"failed={flow['failed']}"
+                )
+            if flow["failed"] and not flow["aborted"]:
+                violations.append(
+                    f"unacked data without DeliveryFailed {name}->vip"
+                )
+            if flow["aborted"] and dst not in aborted_flows:
+                violations.append(
+                    f"aborted flow {name}->vip missing its "
+                    f"DeliveryFailed record"
+                )
+    return violations
+
+
 def run_chaos_case(
     seed: int,
     *,
@@ -192,6 +374,8 @@ def run_chaos_case(
     check_replay: bool = True,
     config: str = "gbn",
     failover: bool = True,
+    speculative: bool = False,
+    lb_nics: int = LB_NICS,
 ) -> dict:
     """Run one seeded chaos case end to end; returns a picklable report.
 
@@ -199,13 +383,23 @@ def run_chaos_case(
     :data:`TRANSPORT_CONFIGS`); the fault mix depends only on the seed,
     so cases differing only in ``config`` are directly comparable.
     ``failover`` arms the spare checksum lane + health monitor on every
-    NIC (the hardened rack CI gates on).
+    NIC (the hardened rack CI gates on).  ``speculative`` runs the
+    sharded leg with speculative shard windows -- the mono-vs-sharded
+    invariant must hold either way.  The ``lb`` config runs its own
+    ``lb_nics``-node rack shape (``nics``/``pattern`` describe the
+    incast and do not apply to it).
 
     ``invariants`` maps each invariant to a bool; ``violations`` lists
     the specifics when something broke.  ``goodput`` is delivered over
     offered across the rack.
     """
     from repro.sim.shard import run_monolithic, run_sharded
+
+    if config == "lb":
+        return _run_lb_case(
+            seed, nics=lb_nics, frames=frames, workers=workers,
+            check_replay=check_replay, speculative=speculative,
+        )
 
     transport, link_local = split_config(config)
 
@@ -220,7 +414,8 @@ def run_chaos_case(
 
     plan = chaos_plan()
     mono = run_monolithic(topology(), fault_plan=plan)
-    shard = run_sharded(topology(), workers=workers, fault_plan=chaos_plan())
+    shard = run_sharded(topology(), workers=workers, fault_plan=chaos_plan(),
+                        speculative=speculative)
     replay = (run_monolithic(topology(), fault_plan=chaos_plan())
               if check_replay else None)
 
@@ -282,6 +477,108 @@ def run_chaos_case(
     }
 
 
+def _run_lb_case(
+    seed: int,
+    *,
+    nics: int,
+    frames: int,
+    workers: int,
+    check_replay: bool,
+    speculative: bool,
+) -> dict:
+    """One seeded case of the ``lb`` config (see module docstring)."""
+    from repro.sim.shard import run_monolithic, run_sharded
+
+    n_backends = LB_BACKENDS
+    lb_layout(nics, n_backends)  # fail fast on shapes with no clients
+    drain = lb_drain_params(seed, n_backends)
+
+    def topology():
+        return lb_rack_topology(
+            nics=nics, n_backends=n_backends, frames=frames, seed=seed,
+            drain=drain,
+        )
+
+    def chaos_plan():
+        return generate_lb_chaos_plan(seed, nics, n_backends)
+
+    plan = chaos_plan()
+    mono = run_monolithic(topology(), fault_plan=plan)
+    shard = run_sharded(topology(), workers=workers, fault_plan=chaos_plan(),
+                        speculative=speculative)
+    replay = (run_monolithic(topology(), fault_plan=chaos_plan())
+              if check_replay else None)
+
+    violations = _check_lb_case(mono, shard, replay, n_backends)
+
+    reports = mono.reports
+    sent = sum(r.get("sent", 0) for r in reports.values())
+    delivered = sum(len(r.get("deliveries", ())) for r in reports.values())
+    retransmits = sum(
+        r["stats"].get("reliability", {}).get("retransmits", 0)
+        for r in reports.values()
+    )
+    rto_fired = sum(
+        r["stats"].get("reliability", {}).get("rto_fired", 0)
+        for r in reports.values()
+    )
+    failures = sum(len(r.get("failures", ())) for r in reports.values())
+    fcts = [t for r in reports.values() for t in r.get("fct", {}).values()]
+    wire_faults = {
+        label: stats for label, stats in sorted(mono.wire_stats.items())
+        if stats["loss_drops"] or stats["corruptions"] or stats["down_drops"]
+    }
+    lb = reports["nic0"]
+    return {
+        "seed": seed,
+        "config": "lb",
+        "plan": plan.describe(),
+        "events": len(plan),
+        "invariants": {
+            "no_committed_loss": not any(
+                "committed loss" in v for v in violations),
+            "no_affinity_violation": not any(
+                "affinity violation" in v for v in violations),
+            "no_duplicates": not any(
+                "duplicate delivery" in v for v in violations),
+            "accounting": not any(
+                ("accounting" in v or "DeliveryFailed" in v)
+                for v in violations),
+            "mono_eq_sharded": not any(
+                "mono != sharded" in v for v in violations),
+            "replay_deterministic": not any(
+                "replay" in v for v in violations),
+        },
+        "violations": violations,
+        "passed": not violations,
+        "sent": sent,
+        "delivered": delivered,
+        "goodput": delivered / sent if sent else 1.0,
+        "retransmits": retransmits,
+        "rto_fired": rto_fired,
+        "delivery_failures": failures,
+        "fct_mean_ps": int(sum(fcts) / len(fcts)) if fcts else 0,
+        "fct_max_ps": max(fcts) if fcts else 0,
+        # The lb rack never arms link-local repair; zeros keep the
+        # per-config summary shape uniform.
+        "linklayer": {
+            "protected": 0, "nacks": 0, "retransmits": 0,
+            "repaired": 0, "gave_up": 0, "bypassed": 0,
+        },
+        "wire_faults": wire_faults,
+        "lb": {
+            "drain": list(drain) if drain else None,
+            "epoch": lb["steering"]["epoch"],
+            "live_backends": lb["steering"]["backends"],
+            "draining": lb["steering"]["draining"],
+            "failed": lb["steering"]["failed"],
+            "gc_removed": lb["steering"]["gc_removed"],
+            "affinity": lb["steering"]["stats"],
+            "monitor": lb["monitor"],
+        },
+    }
+
+
 def run_chaos(
     seeds,
     *,
@@ -293,18 +590,23 @@ def run_chaos(
     progress: Optional[callable] = None,
     configs=("gbn",),
     failover: bool = True,
-    goodput_floor: Optional[float] = DEFAULT_GOODPUT_FLOOR,
+    goodput_floor: Union[float, Dict[str, float], None] = (
+        DEFAULT_GOODPUT_FLOOR),
+    speculative: bool = False,
+    lb_nics: int = LB_NICS,
 ) -> dict:
     """Run a batch of chaos cases; the harness/CLI entry point.
 
     Each seed runs once per entry of ``configs`` (same fault weather,
     different recovery strategy); ``by_config`` summarises each
     strategy so the comparison reads off directly.  ``goodput_floor``
-    applies to link-local configs only -- sub-RTT repair is the
-    mechanism that justifies gating goodput in CI -- and floor breaches
-    land in ``floor_failures`` without flipping ``passed`` (invariants
-    and floors fail independently; the benchmark runner exits nonzero
-    on either).
+    may be a mapping ``{config: floor}`` (per-config CI gates, the
+    shape ``benchmarks/chaos/floor.json`` holds -- configs absent from
+    the mapping are ungated) or a bare float, which keeps the legacy
+    behaviour of gating link-local configs only.  Floor breaches land
+    in ``floor_failures`` without flipping ``passed`` (invariants and
+    floors fail independently; the benchmark runner exits nonzero on
+    either).
     """
     for config in configs:
         split_config(config)  # fail fast on vocabulary typos
@@ -315,6 +617,7 @@ def run_chaos(
                 seed, nics=nics, pattern=pattern, frames=frames,
                 workers=workers, check_replay=check_replay,
                 config=config, failover=failover,
+                speculative=speculative, lb_nics=lb_nics,
             )
             cases.append(case)
             if progress is not None:
@@ -338,14 +641,20 @@ def run_chaos(
             "ll_gave_up": sum(c["linklayer"]["gave_up"] for c in rows),
         }
 
-    floor_failures = []
-    if goodput_floor is not None:
-        floor_failures = [
-            {"seed": c["seed"], "config": c["config"],
-             "goodput": c["goodput"]}
-            for c in cases
-            if split_config(c["config"])[1] and c["goodput"] < goodput_floor
-        ]
+    def floor_for(config: str) -> Optional[float]:
+        if goodput_floor is None:
+            return None
+        if isinstance(goodput_floor, dict):
+            return goodput_floor.get(config)
+        return goodput_floor if split_config(config)[1] else None
+
+    floor_failures = [
+        {"seed": c["seed"], "config": c["config"],
+         "goodput": c["goodput"], "floor": floor_for(c["config"])}
+        for c in cases
+        if floor_for(c["config"]) is not None
+        and c["goodput"] < floor_for(c["config"])
+    ]
 
     goodputs = [case["goodput"] for case in cases]
     return {
@@ -354,6 +663,7 @@ def run_chaos(
             "workers": workers, "seeds": list(seeds),
             "configs": list(configs), "failover": failover,
             "goodput_floor": goodput_floor,
+            "speculative": speculative, "lb_nics": lb_nics,
         },
         "cases": cases,
         "by_config": by_config,

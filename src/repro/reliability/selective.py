@@ -55,6 +55,7 @@ from repro.reliability.transport import (
     DEFAULT_WINDOW,
     DeliveryFailed,
     MAGIC,
+    segment_offset,
 )
 from repro.sim.stats import Counter
 
@@ -282,6 +283,8 @@ class SelectiveRepeatTransport:
         on_deliver: Optional[Callable[[int, int, bytes, int], None]] = None,
         tx_queue: int = 0,
         initial_seq: int = 0,
+        accept_dst: Optional[set] = None,
+        reply_as: Optional[int] = None,
     ):
         if not 1 <= window <= SEQ_HALF // 4:
             raise ValueError(
@@ -308,6 +311,10 @@ class SelectiveRepeatTransport:
         self.on_deliver = on_deliver
         self.tx_queue = tx_queue
         self.initial_seq = initial_seq
+        # Direct-server-return serving (repro.lb): accept the virtual
+        # index, answer as the virtual index (see ReliableTransport).
+        self.accept_dst = frozenset(accept_dst or ())
+        self.reply_as = self.index if reply_as is None else reply_as
 
         self._tx: Dict[int, _SrTxFlow] = {}
         self._rx: Dict[int, _SrRxFlow] = {}
@@ -506,12 +513,12 @@ class SelectiveRepeatTransport:
     # ------------------------------------------------------------------
 
     def _on_host_rx(self, packet, queue: int) -> None:
-        parsed = parse_sr_segment(packet.data[42:])
+        parsed = parse_sr_segment(packet.data[segment_offset(packet):])
         if parsed is None:
             self.parse_rejects.add()
             return
         seg_type, src, dst, seq, tail = parsed
-        if dst != self.index:
+        if dst != self.index and dst not in self.accept_dst:
             self.parse_rejects.add()
             return
         if seg_type == SR_ACK:
@@ -559,7 +566,7 @@ class SelectiveRepeatTransport:
                         break
             blocks.extend(ranges)
             blocks = blocks[:SACK_MAX_BLOCKS]
-        ack = pack_sr_ack(self.index, src, rx.rcv_next, tuple(blocks))
+        ack = pack_sr_ack(self.reply_as, src, rx.rcv_next, tuple(blocks))
         self.nic.host.enqueue_tx(self.frame_builder(src, ack), self.tx_queue)
         self.acks_sent.add()
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import struct
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
+from repro.packet.headers import RACK_TAG_BYTES, RACK_TAG_UDP_PORT
 from repro.sim.clock import US
 from repro.sim.stats import Counter
 
@@ -74,6 +75,19 @@ def parse_segment(
     if magic != MAGIC or seg_type not in (DATA, ACK):
         return None
     return seg_type, src, dst, seq, payload[HEADER_BYTES:]
+
+
+def segment_offset(packet) -> int:
+    """Offset of the transport segment inside a received frame.
+
+    Ethernet (14) + IPv4 (20) + UDP (8) = 42 for the rack frame shapes
+    this library builds; tag-identified frames (``flow_id="tag"`` racks,
+    recognized by their UDP destination port) lead the payload with a
+    flow-tag shim that is not part of the segment.
+    """
+    if int.from_bytes(packet.data[36:38], "big") == RACK_TAG_UDP_PORT:
+        return 42 + RACK_TAG_BYTES
+    return 42
 
 
 def default_rto_ps(propagation_ps: int) -> int:
@@ -153,6 +167,8 @@ class ReliableTransport:
         jitter: float = DEFAULT_JITTER,
         on_deliver: Optional[Callable[[int, int, bytes, int], None]] = None,
         tx_queue: int = 0,
+        accept_dst: Optional[set] = None,
+        reply_as: Optional[int] = None,
     ):
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -163,6 +179,13 @@ class ReliableTransport:
         self.nic = nic
         self.sim = nic.sim
         self.index = index
+        # Direct-server-return serving (repro.lb): a backend accepts
+        # segments addressed to the virtual index too (``accept_dst``)
+        # and stamps its ACKs with the virtual index (``reply_as``), so
+        # clients talk to the VIP and never learn which backend served
+        # them.
+        self.accept_dst = frozenset(accept_dst or ())
+        self.reply_as = self.index if reply_as is None else reply_as
         self.frame_builder = frame_builder
         self.rng = rng
         self.window = window
@@ -299,12 +322,12 @@ class ReliableTransport:
     # ------------------------------------------------------------------
 
     def _on_host_rx(self, packet, queue: int) -> None:
-        parsed = parse_segment(packet.data[self._payload_offset(packet):])
+        parsed = parse_segment(packet.data[segment_offset(packet):])
         if parsed is None:
             self.parse_rejects.add()
             return
         seg_type, src, dst, seq, payload = parsed
-        if dst != self.index:
+        if dst != self.index and dst not in self.accept_dst:
             self.parse_rejects.add()
             return
         if seg_type == ACK:
@@ -323,15 +346,9 @@ class ReliableTransport:
             # resend from `expected` on its next timeout.
             self.out_of_order_dropped.add()
         # Always (re-)advertise the cumulative front, so lost ACKs heal.
-        ack = pack_segment(ACK, self.index, src, self._rx_expected.get(src, 0))
+        ack = pack_segment(ACK, self.reply_as, src, self._rx_expected.get(src, 0))
         self.nic.host.enqueue_tx(self.frame_builder(src, ack), self.tx_queue)
         self.acks_sent.add()
-
-    @staticmethod
-    def _payload_offset(packet) -> int:
-        # Ethernet (14) + IPv4 (20) + UDP (8); constant for the rack
-        # frame shapes this library builds.
-        return 42
 
     # ------------------------------------------------------------------
     # Reporting

@@ -250,6 +250,132 @@ def decrement_ttl(phv: Phv, ctx: ActionContext) -> None:
     phv.set("ipv4.ttl", max(0, ttl - 1))
 
 
+# ----------------------------------------------------------------------
+# L4 load balancing: consistent hashing + connection affinity
+# ----------------------------------------------------------------------
+
+#: Affinity-table stats register layout (cells of the ``stats`` register
+#: an ``affinity_steer`` entry names).
+LB_STAT_STEERED = 0    # every packet the action steered
+LB_STAT_INSERTS = 1    # affinity entries created (first packet of a flow)
+LB_STAT_HITS = 2       # packets pinned by an existing entry
+LB_STAT_EVICTIONS = 3  # stale entries overwritten by a new flow
+LB_STAT_BYPASS = 4     # collisions with a live entry (ring-only steering)
+LB_STAT_CELLS = 5
+
+
+def flow_key64(values: tuple) -> int:
+    """FNV-1a 64-bit over PHV field values, never zero (zero is the
+    affinity table's empty-slot sentinel)."""
+    acc = 0xCBF29CE484222325
+    for value in values:
+        data = (value if isinstance(value, bytes)
+                else value.to_bytes(8, "big"))
+        for byte in data:
+            acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc or 1
+
+
+def ring_lookup(ring, key: int) -> int:
+    """Pick the ring point owning ``key``: first point clockwise from the
+    key's 32-bit position, wrapping to the lowest point.  ``ring`` is a
+    sorted sequence of ``(point, backend)`` pairs (see
+    :class:`repro.lb.ring.HashRing`)."""
+    if not ring:
+        raise ActionError("consistent ring is empty (no live backends)")
+    point = key & 0xFFFFFFFF
+    lo, hi = 0, len(ring)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ring[mid][0] < point:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo == len(ring):
+        lo = 0
+    return ring[lo][1]
+
+
+def consistent_select(
+    phv: Phv,
+    ctx: ActionContext,
+    *,
+    fields: List[str],
+    ring,
+    dst: str = "meta.lb_backend",
+) -> None:
+    """Steer onto a consistent-hash ring of backends (no affinity state).
+
+    Flow-stable like :func:`hash_select`, but membership-hashed: removing
+    one backend only moves the flows that mapped to it, the property the
+    load balancer's drain/migration protocol relies on."""
+    values = tuple(phv.get(name) for name in fields)
+    phv.set(dst, ring_lookup(ring, flow_key64(values)))
+
+
+def affinity_steer(
+    phv: Phv,
+    ctx: ActionContext,
+    *,
+    fields: List[str],
+    ring,
+    key_reg: str,
+    backend_reg: str,
+    stamp_reg: str,
+    epoch_reg: str,
+    stats_reg: str,
+    epoch: int,
+    idle_ps: int,
+    dst: str = "meta.lb_backend",
+) -> None:
+    """Consistent-hash steering with Register-backed connection affinity.
+
+    The first packet of a flow hashes onto ``ring`` and inserts an
+    affinity entry (flow key, chosen backend, rule epoch, last-seen
+    stamp) into the bounded register arrays; every later packet of the
+    flow is pinned to the recorded backend *regardless of the ring the
+    current epoch carries* -- which is exactly what keeps established
+    flows on their backend while the control plane drains or migrates
+    the backend set underneath them (make-before-break, DESIGN.md
+    section 17).
+
+    The table is direct-indexed by ``key % slots`` with no chaining (the
+    O(1)-atom constraint of section 2.3.3).  A slot whose entry has gone
+    idle for ``idle_ps`` is reclaimed by the next colliding flow; a
+    collision with a *live* entry falls back to ring-only steering --
+    still flow-stable, but unpinned across epochs -- and is counted in
+    the stats register so operators can size the table
+    (``LB_STAT_BYPASS``).
+    """
+    values = tuple(phv.get(name) for name in fields)
+    key = flow_key64(values)
+    keys = ctx.register(key_reg)
+    stats = ctx.register(stats_reg)
+    stats.add(LB_STAT_STEERED)
+    slot = key % len(keys)
+    current = keys.read(slot)
+    now = ctx.now_ps
+    stamps = ctx.register(stamp_reg)
+    if current == key:
+        backend = ctx.register(backend_reg).read(slot)
+        stamps.write(slot, now)
+        stats.add(LB_STAT_HITS)
+    elif current == 0 or now - stamps.read(slot) > idle_ps:
+        backend = ring_lookup(ring, key)
+        if current != 0:
+            stats.add(LB_STAT_EVICTIONS)
+        keys.write(slot, key)
+        ctx.register(backend_reg).write(slot, backend)
+        ctx.register(epoch_reg).write(slot, epoch)
+        stamps.write(slot, now)
+        stats.add(LB_STAT_INSERTS)
+    else:
+        # Live collision: steer by the ring without pinning.
+        backend = ring_lookup(ring, key)
+        stats.add(LB_STAT_BYPASS)
+    phv.set(dst, backend)
+
+
 def standard_actions() -> Dict[str, Action]:
     """The default action registry installed in every pipeline."""
     return {
@@ -270,6 +396,8 @@ def standard_actions() -> Dict[str, Action]:
         "load_balance": load_balance,
         "hash_select": hash_select,
         "decrement_ttl": decrement_ttl,
+        "consistent_select": consistent_select,
+        "affinity_steer": affinity_steer,
     }
 
 

@@ -147,6 +147,31 @@ class Table:
                 return
         raise TableError(f"table {self.name!r}: no entry {key}")
 
+    def remove_entry(self, entry: TableEntry) -> None:
+        """Remove one installed entry by identity (the object returned
+        by :meth:`add`).
+
+        :meth:`remove` matches by patterns, which is ambiguous when
+        several entries share patterns and differ only by priority --
+        exactly the shape of versioned rule epochs (a new epoch masks
+        the old one until the control plane garbage-collects it).
+        """
+        if self._all_exact:
+            key = entry.patterns
+            if self._exact_index.get(key) is entry:
+                del self._exact_index[key]
+                self._notify()
+                return
+        else:
+            for i, existing in enumerate(self._scan_entries):
+                if existing is entry:
+                    del self._scan_entries[i]
+                    self._notify()
+                    return
+        raise TableError(
+            f"table {self.name!r}: entry {entry.patterns} not installed"
+        )
+
     def clear(self) -> None:
         self._exact_index.clear()
         self._scan_entries.clear()

@@ -16,6 +16,7 @@ import pytest
 
 from repro.reliability.chaos import (
     _check_case,
+    _check_lb_case,
     generate_chaos_plan,
     run_chaos,
     run_chaos_case,
@@ -193,3 +194,75 @@ class TestCheckerTeeth:
         mono = _result({"nic0": _nic_report()})
         replay = _result({"nic0": _nic_report(deliveries=[(1, 0, 1, 0)])})
         assert any("replay" in v for v in _check_case(mono, None, replay))
+
+
+def _lb_result(stats=None, backends=None, clients=None):
+    """A hand-built lb-rack run: nic0 the balancer, nic1..nic2 backends,
+    higher indices clients."""
+    clean = {"steered": 0, "inserts": 0, "hits": 0,
+             "evictions": 0, "bypass": 0}
+    reports = {"nic0": {"steering": {"stats": {**clean, **(stats or {})}}}}
+    for b, deliveries in (backends or {1: (), 2: ()}).items():
+        reports[f"nic{b}"] = _nic_report(deliveries=deliveries)
+    for c, kwargs in (clients or {}).items():
+        reports[f"nic{c}"] = _nic_report(**kwargs)
+    return _result(reports)
+
+
+class TestLbCheckerTeeth:
+    """Same bar for the lb config's checker: every invariant the chaos
+    ``lb`` cases gate on must bite on a hand-built violating run."""
+
+    def test_clean_run_passes(self):
+        mono = _lb_result(
+            stats={"steered": 2, "inserts": 1, "hits": 1},
+            backends={1: [(3, 0, 100, 0), (3, 1, 110, 0)], 2: ()},
+            clients={3: {"tx_flows": {
+                0: {"sent": 2, "acked": 2, "failed": 0, "aborted": 0},
+            }}},
+        )
+        assert _check_lb_case(mono, None, None, 2) == []
+
+    def test_affinity_bypass_flagged(self):
+        mono = _lb_result(stats={"bypass": 3})
+        assert any("affinity violation" in v and "ring-only" in v
+                   for v in _check_lb_case(mono, None, None, 2))
+
+    def test_affinity_eviction_flagged(self):
+        mono = _lb_result(stats={"evictions": 1})
+        assert any("affinity violation" in v and "evicted" in v
+                   for v in _check_lb_case(mono, None, None, 2))
+
+    def test_flow_split_across_backends_flagged(self):
+        # Client 3's sequence numbers land on both backends: the flow
+        # changed backend mid-connection.
+        mono = _lb_result(
+            backends={1: [(3, 0, 100, 0)], 2: [(3, 1, 110, 0)]},
+            clients={3: {"tx_flows": {
+                0: {"sent": 2, "acked": 2, "failed": 0, "aborted": 0},
+            }}},
+        )
+        violations = _check_lb_case(mono, None, None, 2)
+        assert any("affinity violation" in v and "backends [1, 2]" in v
+                   for v in violations)
+
+    def test_committed_loss_checked_against_backend_union(self):
+        # The client saw an ACK for seq 0 but no backend host ever
+        # received it -- committed loss, whatever epoch was live.
+        mono = _lb_result(clients={3: {"tx_flows": {
+            0: {"sent": 1, "acked": 1, "failed": 0, "aborted": 0},
+        }}})
+        assert any("committed loss" in v
+                   for v in _check_lb_case(mono, None, None, 2))
+
+    def test_duplicate_to_backend_host_flagged(self):
+        mono = _lb_result(backends={1: [(3, 0, 100, 0), (3, 0, 200, 0)],
+                                    2: ()})
+        assert any("duplicate delivery" in v
+                   for v in _check_lb_case(mono, None, None, 2))
+
+    def test_mode_divergence_flagged(self):
+        mono = _lb_result()
+        shard = _lb_result(stats={"steered": 9})
+        assert any("mono != sharded" in v
+                   for v in _check_lb_case(mono, shard, None, 2))
